@@ -1,0 +1,62 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Heavy artifacts (the characterization runs, the GCN dataset) are built
+once per session and shared across the per-figure benchmarks.  Scale knobs
+come from the environment so a "paper-sized" run is one variable away:
+
+* ``REPRO_BENCH_SCALE``      — characterization design scale (default 1.5)
+* ``REPRO_BENCH_SAMPLE_RATE``— PMU sampling stride (default 4)
+* ``REPRO_FIG5_VARIANTS``    — netlist variants per design (default 6;
+  the paper's dataset corresponds to ~18)
+* ``REPRO_FIG5_EPOCHS``      — GCN training epochs (default 60; paper 200)
+"""
+
+import os
+
+import pytest
+
+from repro.core.characterize import characterize
+from repro.core.optimize import build_stage_options
+from repro.core.predict import DatasetSpec, build_datasets
+
+
+def _env_float(name, default):
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 1.5)
+SAMPLE_RATE = _env_int("REPRO_BENCH_SAMPLE_RATE", 2)
+FIG5_VARIANTS = _env_int("REPRO_FIG5_VARIANTS", 6)
+FIG5_EPOCHS = _env_int("REPRO_FIG5_EPOCHS", 60)
+FIG5_SCALE = _env_float("REPRO_FIG5_SCALE", 0.45)
+
+
+@pytest.fixture(scope="session")
+def char_report():
+    """Characterization of the SPARC-core proxy (Figures 2, Table I input)."""
+    return characterize(
+        "sparc_core",
+        scale=BENCH_SCALE,
+        vcpu_levels=(1, 2, 4, 8),
+        sample_rate=SAMPLE_RATE,
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_stage_options(char_report):
+    """Per-stage VM options priced from the measured runtimes."""
+    return build_stage_options(
+        char_report.stage_runtimes(),
+        families=char_report.recommended_families(),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig5_datasets():
+    """The GCN dataset (18 designs x variants), built once."""
+    spec = DatasetSpec(variants_per_design=FIG5_VARIANTS, scale=FIG5_SCALE, seed=0)
+    return build_datasets(spec)

@@ -1,0 +1,95 @@
+"""Figure 6: cost savings of the knapsack optimization vs naive baselines.
+
+Sweeps deadline constraints over the feasible range and compares the
+optimized plan's cost with over-provisioning (8 vCPUs everywhere) and
+under-provisioning (1 vCPU everywhere).  The paper reports an average
+saving of 35.29% "with minimal overhead to the best runtime".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimize import (
+    cost_saving_percent,
+    over_provisioning,
+    solve_mckp_dp,
+    under_provisioning,
+)
+from repro.core.report import render_figure6
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_stage_options):
+    fastest = sum(s.fastest.runtime_seconds for s in paper_stage_options)
+    slowest = sum(s.options[0].runtime_seconds for s in paper_stage_options)
+    # Deadlines from just-feasible to fully relaxed.
+    deadlines = np.linspace(fastest, slowest, 8).astype(int).tolist()
+    return deadlines
+
+
+def test_fig6_cost_savings(benchmark, paper_stage_options, sweep):
+    over = over_provisioning(paper_stage_options)
+    under = under_provisioning(paper_stage_options)
+
+    def run_sweep():
+        rows = []
+        for deadline in sweep:
+            sel = solve_mckp_dp(paper_stage_options, deadline)
+            assert sel is not None
+            rows.append(
+                dict(
+                    constraint=deadline,
+                    optimized=sel.total_cost,
+                    over=over.total_cost,
+                    under=under.total_cost,
+                    saving_over=cost_saving_percent(sel.total_cost, over.total_cost),
+                    saving_under=cost_saving_percent(sel.total_cost, under.total_cost),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\n" + render_figure6(rows))
+
+    # The optimizer never loses to over-provisioning.
+    assert all(r["saving_over"] >= -1e-9 for r in rows)
+
+    # Once the deadline has any slack, savings vs over-provisioning are
+    # substantial (the paper's 35.29% average); require >20% average
+    # over the relaxed half of the sweep.
+    relaxed = rows[len(rows) // 2 :]
+    savings = [r["saving_over"] for r in relaxed] + [
+        r["saving_under"] for r in relaxed if r["saving_under"] > 0
+    ]
+    assert np.mean([r["saving_over"] for r in relaxed]) > 20.0
+
+    # Under tight deadlines under-provisioning is infeasible anyway:
+    under_runtime = sum(
+        min(o.runtime_seconds for o in s.options if o.vm.vcpus == 1)
+        for s in paper_stage_options
+    )
+    assert all(r["constraint"] < under_runtime for r in rows[:2])
+
+    # "Minimal overhead to the best runtime": at the tightest deadline the
+    # plan's runtime equals the best achievable.
+    tightest = solve_mckp_dp(paper_stage_options, sweep[0])
+    fastest = sum(s.fastest.runtime_seconds for s in paper_stage_options)
+    assert tightest.total_runtime == fastest
+
+
+def test_fig6_average_saving_magnitude(benchmark, paper_stage_options, sweep):
+    """Average saving across the sweep and both baselines lands in the
+    paper's neighbourhood (they report 35.29%; we require 15-60%)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    over = over_provisioning(paper_stage_options)
+    under = under_provisioning(paper_stage_options)
+    under_runtime = under.total_runtime
+    savings = []
+    for deadline in sweep:
+        sel = solve_mckp_dp(paper_stage_options, deadline)
+        savings.append(cost_saving_percent(sel.total_cost, over.total_cost))
+        if deadline >= under_runtime:
+            savings.append(cost_saving_percent(sel.total_cost, under.total_cost))
+    avg = float(np.mean(savings))
+    print(f"\naverage saving across sweep: {avg:.2f}% (paper: 35.29%)")
+    assert 15.0 <= avg <= 60.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multi-tenancy stress test: how noisy neighbours skew deployment plans.
+
+The paper characterizes jobs in a controlled cgroups environment; real
+clouds share hosts.  This example runs the characterization, then replays
+the optimized deployment across a sampled co-tenant population to show
+which stages are robust (synthesis, STA) and which degrade (placement,
+routing — the cache-hungry stages), and how much deadline margin a team
+should budget.
+
+Usage::
+
+    python examples/noisy_neighbors.py [num_hosts]
+"""
+
+import statistics
+import sys
+
+from repro.cloud import TenancyModel
+from repro.core import build_stage_options, characterize, solve_mckp_dp
+from repro.core.report import format_table
+from repro.eda.job import EDAStage
+
+
+def main() -> None:
+    num_hosts = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+
+    print("=== Characterizing (controlled environment) ===")
+    report = characterize("sparc_core", scale=1.0, sample_rate=4)
+    runtimes = report.stage_runtimes()
+    stages = build_stage_options(runtimes, families=report.recommended_families())
+
+    deadline = 0.7 * sum(s.options[0].runtime_seconds for s in stages)
+    selection = solve_mckp_dp(stages, deadline)
+    assert selection is not None
+    print(selection.to_plan(report.design).summary())
+
+    print(f"\n=== Replaying on {num_hosts} sampled multi-tenant hosts ===")
+    model = TenancyModel()
+    neighbors = model.sample_neighbors(num_hosts, seed=7)
+
+    rows = []
+    total_p95 = 0.0
+    for stage, option in selection.choices.items():
+        miss_rate = report[stage].counters[option.vm.vcpus].cache_miss_rate
+        slowdowns = [model.slowdown(n, miss_rate) for n in neighbors]
+        effective = [option.runtime_seconds * s for s in slowdowns]
+        p95 = sorted(effective)[int(0.95 * len(effective)) - 1]
+        total_p95 += p95
+        rows.append(
+            [
+                stage.display_name,
+                f"{100 * miss_rate:.1f}%",
+                f"{option.runtime_seconds:,}",
+                f"{statistics.mean(effective):,.0f}",
+                f"{p95:,.0f}",
+                f"{100 * (statistics.mean(slowdowns) - 1):.1f}%",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "stage",
+                "cache miss",
+                "planned (s)",
+                "mean actual (s)",
+                "p95 actual (s)",
+                "mean slowdown",
+            ],
+            rows,
+        )
+    )
+    planned = selection.total_runtime
+    print(
+        f"\nplanned flow: {planned:,}s; p95 under interference: {total_p95:,.0f}s"
+        f" -> budget ~{100 * (total_p95 / planned - 1):.0f}% deadline margin on"
+        " shared tenancy, driven almost entirely by the memory-bound stages."
+    )
+
+
+if __name__ == "__main__":
+    main()

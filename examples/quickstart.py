@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's workflow end to end on one design.
+
+Runs the three contributions in sequence on the SPARC-core proxy:
+
+1. characterize the four EDA applications across VM sizes (Figure 2),
+2. derive per-application instance-family recommendations,
+3. pick cost-minimal VM configurations under a deadline with the
+   multi-choice knapsack DP (Table I / Figure 6).
+
+Runs in about a minute.  Usage::
+
+    python examples/quickstart.py [deadline_seconds]
+"""
+
+import sys
+
+from repro.core import (
+    build_stage_options,
+    characterize,
+    cost_saving_percent,
+    over_provisioning,
+    solve_mckp_dp,
+    under_provisioning,
+)
+from repro.core.report import render_figure2
+
+
+def main() -> None:
+    deadline = float(sys.argv[1]) if len(sys.argv) > 1 else 9000.0
+
+    print("=== Step 1: characterize the EDA applications (Problem 1) ===")
+    report = characterize("sparc_core", scale=1.0, sample_rate=4)
+    print(render_figure2(report))
+
+    print("\n=== Step 2: price the measured runtimes (AWS-like catalog) ===")
+    stages = build_stage_options(
+        report.stage_runtimes(), families=report.recommended_families()
+    )
+    for stage_opts in stages:
+        menu = ", ".join(
+            f"{o.vm.vcpus}v: {o.runtime_seconds:,}s/${o.price:.2f}"
+            for o in stage_opts.options
+        )
+        print(f"  {stage_opts.stage.display_name:10s} {menu}")
+
+    print(f"\n=== Step 3: optimize deployment for a {deadline:,.0f}s deadline ===")
+    selection = solve_mckp_dp(stages, deadline)
+    if selection is None:
+        fastest = sum(s.fastest.runtime_seconds for s in stages)
+        print(f"NA — not achievable; the fastest possible flow takes {fastest:,}s")
+        return
+    plan = selection.to_plan(report.design)
+    print(plan.summary())
+
+    over = over_provisioning(stages)
+    under = under_provisioning(stages)
+    print(
+        f"\nover-provisioning (8 vCPU everywhere): ${over.total_cost:.4f}; "
+        f"saving {cost_saving_percent(selection.total_cost, over.total_cost):.1f}%"
+    )
+    print(
+        f"under-provisioning (1 vCPU everywhere): ${under.total_cost:.4f} "
+        f"at {under.total_runtime:,}s; "
+        f"saving {cost_saving_percent(selection.total_cost, under.total_cost):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Characterizing and Optimizing EDA Flows for the Cloud".
+
+Hosny & Reda, DATE 2021.  The package builds every system the paper uses
+or depends on, from scratch:
+
+* :mod:`repro.netlist` — AIGs, cell library, netlists, graphs, benchmarks.
+* :mod:`repro.eda` — synthesis, placement, routing and STA engines.
+* :mod:`repro.perf` — simulated hardware performance counters.
+* :mod:`repro.parallel` — the vCPU execution model.
+* :mod:`repro.cloud` — VM catalog, pricing, tenancy, deployment plans.
+* :mod:`repro.gnn` — the numpy GCN runtime predictor.
+* :mod:`repro.core` — the paper's pipeline: characterize / predict /
+  optimize / end-to-end workflow.
+
+Quickstart::
+
+    from repro.core import characterize, solve_mckp_dp, build_stage_options
+
+    report = characterize("sparc_core", scale=1.0)          # Problem 1
+    options = build_stage_options(report.stage_runtimes())
+    plan = solve_mckp_dp(options, deadline_seconds=10_000)   # Problem 3
+"""
+
+__version__ = "1.0.0"
+
+from . import cloud, core, eda, gnn, netlist, parallel, perf
+
+__all__ = ["cloud", "core", "eda", "gnn", "netlist", "parallel", "perf", "__version__"]

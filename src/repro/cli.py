@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the paper's workflow as terminal commands:
+
+* ``repro characterize`` — Problem 1: run the four applications on a
+  design across VM sizes and print the Figure 2 panels.
+* ``repro flow``         — run the 4-stage flow on a design and print
+  per-stage runtimes/QoR.
+* ``repro optimize``     — Problem 3: price a characterization and pick
+  VM configurations under a deadline (Table I rows).
+* ``repro predict``      — Problem 2: build the dataset, train the GCN
+  predictors, report accuracy, optionally save the models.
+* ``repro benchmarks``   — list the designs shipped with the package.
+
+Each command prints through :mod:`repro.core.report`, so outputs have the
+same rows/series as the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.characterize import characterize
+from .core.optimize import (
+    build_stage_options,
+    cost_saving_percent,
+    over_provisioning,
+    solve_mckp_dp,
+    under_provisioning,
+)
+from .core.report import render_figure2, render_table1
+from .eda import EDAStage, FlowRunner
+from .netlist import benchmarks
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Characterizing and Optimizing EDA Flows for the Cloud "
+        "(DATE 2021) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_char = sub.add_parser(
+        "characterize", help="run the Figure 2 characterization on a design"
+    )
+    p_char.add_argument("--design", default="sparc_core", help="benchmark name")
+    p_char.add_argument("--scale", type=float, default=1.0, help="design scale")
+    p_char.add_argument(
+        "--sample-rate", type=int, default=4, help="PMU sampling stride"
+    )
+    p_char.add_argument(
+        "--vcpus",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="VM sizes to emulate",
+    )
+
+    p_flow = sub.add_parser("flow", help="run the 4-stage flow on a design")
+    p_flow.add_argument("--design", default="fpu")
+    p_flow.add_argument("--scale", type=float, default=1.0)
+    p_flow.add_argument(
+        "--recipe",
+        nargs="*",
+        default=None,
+        help="synthesis passes (default: balance rewrite balance refactor balance)",
+    )
+    p_flow.add_argument(
+        "--verilog-out", default=None, help="write the mapped netlist here"
+    )
+
+    p_opt = sub.add_parser(
+        "optimize", help="characterize then optimize deployment under deadlines"
+    )
+    p_opt.add_argument("--design", default="sparc_core")
+    p_opt.add_argument("--scale", type=float, default=1.0)
+    p_opt.add_argument("--sample-rate", type=int, default=4)
+    p_opt.add_argument(
+        "--deadlines",
+        type=float,
+        nargs="+",
+        default=None,
+        help="total-runtime constraints in seconds (default: auto sweep)",
+    )
+
+    p_pred = sub.add_parser(
+        "predict", help="build the dataset and train the GCN runtime predictors"
+    )
+    p_pred.add_argument("--variants", type=int, default=4, help="netlists per design")
+    p_pred.add_argument("--epochs", type=int, default=60)
+    p_pred.add_argument("--lr", type=float, default=1e-3)
+    p_pred.add_argument("--dataset-scale", type=float, default=0.45)
+    p_pred.add_argument(
+        "--save", default=None, help="save trained models to this .npz file"
+    )
+
+    sub.add_parser("benchmarks", help="list the shipped benchmark designs")
+    return parser
+
+
+def _cmd_characterize(args) -> int:
+    report = characterize(
+        args.design,
+        scale=args.scale,
+        vcpu_levels=tuple(args.vcpus),
+        sample_rate=args.sample_rate,
+    )
+    print(render_figure2(report))
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    runner = FlowRunner()
+    aig = benchmarks.build(args.design, args.scale)
+    recipe = tuple(args.recipe) if args.recipe else None
+    flow = (
+        runner.run(aig, recipe=recipe) if recipe is not None else runner.run(aig)
+    )
+    print(f"design {aig.name}: {aig.num_ands} ANDs, depth {aig.depth()}")
+    for stage, result in flow.stages.items():
+        print(f"  {result.summary()}")
+    sta = flow[EDAStage.STA].artifact
+    print(
+        f"  timing: critical path {sta.max_arrival:.0f} ps through "
+        f"{len(sta.critical_path)} nodes; WNS {sta.wns:.1f} ps"
+    )
+    if args.verilog_out:
+        from .netlist.verilog import write_verilog
+
+        write_verilog(flow[EDAStage.SYNTHESIS].artifact, args.verilog_out)
+        print(f"  netlist written to {args.verilog_out}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    report = characterize(
+        args.design, scale=args.scale, sample_rate=args.sample_rate
+    )
+    stages = build_stage_options(
+        report.stage_runtimes(), families=report.recommended_families()
+    )
+    fastest = sum(s.fastest.runtime_seconds for s in stages)
+    slowest = sum(s.options[0].runtime_seconds for s in stages)
+    deadlines = args.deadlines or [
+        slowest,
+        (fastest + slowest) // 2,
+        fastest,
+        int(0.9 * fastest),
+    ]
+    selections = {c: solve_mckp_dp(stages, c) for c in deadlines}
+    print(render_table1(stages, deadlines, selections))
+    over = over_provisioning(stages)
+    under = under_provisioning(stages)
+    for c in deadlines:
+        sel = selections[c]
+        if sel is None:
+            continue
+        print(
+            f"deadline {c:,.0f}s: ${sel.total_cost:.4f} "
+            f"(saves {cost_saving_percent(sel.total_cost, over.total_cost):.1f}% "
+            f"vs over-, {cost_saving_percent(sel.total_cost, under.total_cost):.1f}% "
+            f"vs under-provisioning)"
+        )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .core.predict import DatasetSpec, build_datasets, train_predictors
+
+    spec = DatasetSpec(
+        variants_per_design=args.variants, scale=args.dataset_scale
+    )
+    datasets = build_datasets(spec, verbose=True)
+    suite = train_predictors(
+        datasets, epochs=args.epochs, lr=args.lr, verbose=True
+    )
+    for stage, predictor in suite.predictors.items():
+        print(
+            f"{stage.value:10s} accuracy {predictor.accuracy:5.1f}% "
+            f"(test error {100 * predictor.test_eval.mean_error:.1f}%)"
+        )
+    if args.save:
+        from .core.persistence import save_suite
+
+        save_suite(suite, args.save)
+        print(f"models saved to {args.save}")
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    print(f"{'name':<14} {'kind':<12} note")
+    for name in benchmarks.all_names():
+        info = benchmarks.info(name)
+        print(f"{name:<14} {info.kind:<12} {info.note}")
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _cmd_characterize,
+    "flow": _cmd_flow,
+    "optimize": _cmd_optimize,
+    "predict": _cmd_predict,
+    "benchmarks": _cmd_benchmarks,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

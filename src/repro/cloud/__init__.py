@@ -1,0 +1,35 @@
+"""Cloud substrate: VM shapes, pricing, multi-tenancy, deployment plans.
+
+Substitutes the paper's AWS environment: a frozen on-demand catalog with
+general-purpose / memory-optimized / compute-optimized families at
+1/2/4/8 vCPUs, per-second billing, and an interference model for shared
+hosts.
+"""
+
+from .instance import InstanceFamily, VMConfig
+from .pricing import PAPER_VCPU_OPTIONS, PricingTable, aws_like_catalog
+from .provisioner import (
+    DeploymentPlan,
+    RECOMMENDED_FAMILY,
+    StageAssignment,
+    uniform_plan,
+)
+from .spot import SpotMarket, SpotQuote, spot_expected_runtime
+from .tenancy import NeighborLoad, TenancyModel
+
+__all__ = [
+    "InstanceFamily",
+    "VMConfig",
+    "PAPER_VCPU_OPTIONS",
+    "PricingTable",
+    "aws_like_catalog",
+    "DeploymentPlan",
+    "RECOMMENDED_FAMILY",
+    "StageAssignment",
+    "uniform_plan",
+    "SpotMarket",
+    "SpotQuote",
+    "spot_expected_runtime",
+    "NeighborLoad",
+    "TenancyModel",
+]

@@ -1,0 +1,98 @@
+"""Virtual machine configurations.
+
+Models the unit of cloud provisioning exactly as Section II of the paper
+describes it: VMs are sold as bundles of vCPUs, memory and storage, carved
+out of physical hosts by the hypervisor.  A :class:`VMConfig` carries the
+attributes the optimization needs — vCPU count, family, AVX capability and
+the hourly price — and implements AWS-style *per-second billing*, the
+assumption that lets the paper round runtimes to whole seconds in the
+knapsack DP.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["InstanceFamily", "VMConfig"]
+
+
+class InstanceFamily(str, enum.Enum):
+    """Instance families, mirroring the two the paper provisions."""
+
+    GENERAL_PURPOSE = "general_purpose"  # m5-like: balanced compute/memory
+    MEMORY_OPTIMIZED = "memory_optimized"  # r5-like: high memory-to-core ratio
+    COMPUTE_OPTIMIZED = "compute_optimized"  # c5-like: high clock, AVX-512
+
+    @property
+    def display_name(self) -> str:
+        return {
+            InstanceFamily.GENERAL_PURPOSE: "general-purpose",
+            InstanceFamily.MEMORY_OPTIMIZED: "memory-optimized",
+            InstanceFamily.COMPUTE_OPTIMIZED: "compute-optimized",
+        }[self]
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """One provisionable VM shape.
+
+    Attributes
+    ----------
+    name:
+        Catalog name, e.g. ``"gp.2x"``.
+    family:
+        Instance family.
+    vcpus:
+        Virtual CPU count (one hardware thread each).
+    memory_gb:
+        Memory reservation in GiB.
+    price_per_hour:
+        On-demand price in USD per hour.
+    avx:
+        Whether the underlying processor exposes AVX units (the paper
+        recommends AVX hosts for placement and STA).
+    """
+
+    name: str
+    family: InstanceFamily
+    vcpus: int
+    memory_gb: float
+    price_per_hour: float
+    avx: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.price_per_hour <= 0:
+            raise ValueError("price_per_hour must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+
+    @property
+    def price_per_second(self) -> float:
+        """Per-second rate (cloud VMs bill per second, no fractions)."""
+        return self.price_per_hour / 3600.0
+
+    @property
+    def memory_per_vcpu(self) -> float:
+        """Memory-to-core ratio in GiB per vCPU."""
+        return self.memory_gb / self.vcpus
+
+    def cost(self, runtime_seconds: float) -> float:
+        """Cost in USD of running for ``runtime_seconds``.
+
+        Billing is per whole second (rounded up), matching the assumption
+        that makes the knapsack DP exact.
+        """
+        if runtime_seconds < 0:
+            raise ValueError("runtime must be non-negative")
+        billed_seconds = math.ceil(runtime_seconds)
+        return billed_seconds * self.price_per_second
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.name} ({self.family.display_name}, {self.vcpus} vCPU, "
+            f"{self.memory_gb:g} GiB, ${self.price_per_hour:.4f}/h)"
+        )

@@ -1,0 +1,113 @@
+"""Deployment plans and provisioning policies.
+
+Ties the characterization's recommendations (which family per stage) to
+the pricing catalog, and represents the outcome the whole workflow exists
+to produce: a per-stage VM assignment with its runtime and cost totals
+(one row of the paper's Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..eda.job import EDAStage
+from .instance import InstanceFamily, VMConfig
+from .pricing import PricingTable, aws_like_catalog
+
+__all__ = [
+    "RECOMMENDED_FAMILY",
+    "StageAssignment",
+    "DeploymentPlan",
+    "uniform_plan",
+]
+
+#: Per-application family recommendations — the paper's "Main Takeaways":
+#: synthesis and STA perform well on general-purpose instances; placement
+#: and routing want a higher memory-to-core ratio (memory-optimized).
+RECOMMENDED_FAMILY: Dict[EDAStage, InstanceFamily] = {
+    EDAStage.SYNTHESIS: InstanceFamily.GENERAL_PURPOSE,
+    EDAStage.PLACEMENT: InstanceFamily.MEMORY_OPTIMIZED,
+    EDAStage.ROUTING: InstanceFamily.MEMORY_OPTIMIZED,
+    EDAStage.STA: InstanceFamily.GENERAL_PURPOSE,
+}
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """One stage's chosen VM, with the resulting runtime and cost."""
+
+    stage: EDAStage
+    vm: VMConfig
+    runtime_seconds: float
+
+    @property
+    def cost(self) -> float:
+        return self.vm.cost(self.runtime_seconds)
+
+
+@dataclass
+class DeploymentPlan:
+    """A complete per-stage VM assignment."""
+
+    design: str
+    assignments: List[StageAssignment] = field(default_factory=list)
+
+    def add(self, stage: EDAStage, vm: VMConfig, runtime_seconds: float) -> None:
+        self.assignments.append(
+            StageAssignment(stage=stage, vm=vm, runtime_seconds=runtime_seconds)
+        )
+
+    @property
+    def total_runtime(self) -> float:
+        """Total runtime when stages run back-to-back (the flow is serial)."""
+        return sum(a.runtime_seconds for a in self.assignments)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(a.cost for a in self.assignments)
+
+    def meets_deadline(self, deadline_seconds: float) -> bool:
+        return self.total_runtime <= deadline_seconds
+
+    def summary(self) -> str:
+        """Human-readable plan, one line per stage plus totals."""
+        lines = [f"Deployment plan for {self.design}:"]
+        for a in self.assignments:
+            lines.append(
+                f"  {a.stage.display_name:10s} -> {a.vm.name:8s} "
+                f"({a.vm.vcpus} vCPU {a.vm.family.display_name}): "
+                f"{a.runtime_seconds:10,.0f} s  ${a.cost:.4f}"
+            )
+        lines.append(
+            f"  {'TOTAL':10s}    {self.total_runtime:>21,.0f} s  ${self.total_cost:.4f}"
+        )
+        return "\n".join(lines)
+
+
+def uniform_plan(
+    design: str,
+    stage_runtimes: Mapping[EDAStage, Mapping[int, float]],
+    vcpus: int,
+    catalog: Optional[PricingTable] = None,
+    families: Optional[Mapping[EDAStage, InstanceFamily]] = None,
+) -> DeploymentPlan:
+    """Assign every stage the same VM size (the paper's baselines).
+
+    ``vcpus=8`` reproduces the *over-provisioning* baseline of Figure 6,
+    ``vcpus=1`` the *under-provisioning* baseline.  Each stage still uses
+    its recommended family.
+    """
+    catalog = catalog if catalog is not None else aws_like_catalog()
+    families = families if families is not None else RECOMMENDED_FAMILY
+    plan = DeploymentPlan(design=design)
+    for stage in EDAStage.ordered():
+        if stage not in stage_runtimes:
+            continue
+        runtimes = stage_runtimes[stage]
+        if vcpus not in runtimes:
+            raise KeyError(f"no runtime for {stage.value} at {vcpus} vCPUs")
+        vm = catalog.config(families[stage], vcpus)
+        plan.add(stage, vm, runtimes[vcpus])
+    return plan

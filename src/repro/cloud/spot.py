@@ -1,0 +1,194 @@
+"""Spot-market extension: deeper savings with interruptible instances.
+
+The paper optimizes over on-demand instances only; clouds also sell the
+same VM shapes at a 60-90% discount as *spot* capacity that can be
+reclaimed at any time.  This extension models the standard trade:
+
+* a spot instance costs ``discount x`` the on-demand rate,
+* it is interrupted by a Poisson process with a per-hour reclaim rate,
+* an interrupted EDA stage restarts from its last checkpoint (or from
+  scratch for tools without checkpointing), so the *expected* runtime and
+  therefore the expected cost and deadline risk grow with job length.
+
+:func:`spot_expected_runtime` gives the closed-form expected completion
+time under restart-on-interrupt, and :class:`SpotMarket` augments a
+pricing catalog with per-stage expected-cost spot options so the MCKP
+optimizer can mix spot and on-demand per stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .instance import VMConfig
+from .pricing import PricingTable, aws_like_catalog
+
+__all__ = ["SpotQuote", "SpotMarket", "spot_expected_runtime"]
+
+
+def spot_expected_runtime(
+    runtime_seconds: float,
+    interrupt_rate_per_hour: float,
+    checkpoint_interval_seconds: Optional[float] = None,
+) -> float:
+    """Expected wall-clock completion time on an interruptible instance.
+
+    With restarts from scratch, a job needing ``T`` uninterrupted seconds
+    under Poisson interruptions of rate ``lambda`` has expected completion
+    time ``(e^{lambda T} - 1) / lambda`` — the classic preemptive-restart
+    result.  With checkpointing every ``C`` seconds, each segment of
+    length ``C`` pays that penalty independently.
+    """
+    if runtime_seconds < 0:
+        raise ValueError("runtime must be non-negative")
+    if interrupt_rate_per_hour < 0:
+        raise ValueError("interrupt rate must be non-negative")
+    if runtime_seconds == 0:
+        return 0.0
+    lam = interrupt_rate_per_hour / 3600.0
+    if lam == 0:
+        return runtime_seconds
+    if checkpoint_interval_seconds is None:
+        return math.expm1(lam * runtime_seconds) / lam
+    if checkpoint_interval_seconds <= 0:
+        raise ValueError("checkpoint interval must be positive")
+    c = min(checkpoint_interval_seconds, runtime_seconds)
+    full_segments = int(runtime_seconds // c)
+    tail = runtime_seconds - full_segments * c
+    per_segment = math.expm1(lam * c) / lam
+    tail_time = math.expm1(lam * tail) / lam if tail > 0 else 0.0
+    return full_segments * per_segment + tail_time
+
+
+@dataclass(frozen=True)
+class SpotQuote:
+    """One spot option for a stage: expected runtime and expected cost."""
+
+    vm: VMConfig
+    nominal_runtime: float
+    expected_runtime: float
+    expected_cost: float
+    discount: float
+    interrupt_rate_per_hour: float
+
+    @property
+    def risk_stretch(self) -> float:
+        """Expected-over-nominal runtime ratio (1.0 = no risk)."""
+        return self.expected_runtime / self.nominal_runtime if self.nominal_runtime else 1.0
+
+
+class SpotMarket:
+    """Spot quotes layered on an on-demand catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The on-demand pricing table quotes are derived from.
+    discount:
+        Spot price as a fraction of on-demand (AWS spot averages ~0.3).
+    interrupt_rate_per_hour:
+        Poisson reclaim rate.  ~0.05/h is a calm pool; >0.5/h is volatile.
+    checkpoint_interval_seconds:
+        Checkpointing period of the EDA tool, or ``None`` for
+        restart-from-scratch (most synthesis/STA runs).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[PricingTable] = None,
+        discount: float = 0.3,
+        interrupt_rate_per_hour: float = 0.1,
+        checkpoint_interval_seconds: Optional[float] = None,
+    ):
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        if interrupt_rate_per_hour < 0:
+            raise ValueError("interrupt rate must be non-negative")
+        self.catalog = catalog if catalog is not None else aws_like_catalog()
+        self.discount = discount
+        self.interrupt_rate_per_hour = interrupt_rate_per_hour
+        self.checkpoint_interval_seconds = checkpoint_interval_seconds
+
+    def quote(self, vm: VMConfig, runtime_seconds: float) -> SpotQuote:
+        """Spot quote for running one job on one VM shape."""
+        expected = spot_expected_runtime(
+            runtime_seconds,
+            self.interrupt_rate_per_hour,
+            self.checkpoint_interval_seconds,
+        )
+        cost = self.discount * vm.cost(expected)
+        return SpotQuote(
+            vm=vm,
+            nominal_runtime=runtime_seconds,
+            expected_runtime=expected,
+            expected_cost=cost,
+            discount=self.discount,
+            interrupt_rate_per_hour=self.interrupt_rate_per_hour,
+        )
+
+    def breakeven_runtime(self, vm: VMConfig) -> float:
+        """Runtime above which on-demand is *expected* to be cheaper.
+
+        Solves ``discount * E[T_spot(T)] = T`` for restart-from-scratch
+        jobs; below the returned ``T`` spot wins in expectation, above it
+        the exponential restart penalty dominates the discount.  Returns
+        ``inf`` when spot always wins (e.g. with tight checkpointing).
+        """
+        lam = self.interrupt_rate_per_hour / 3600.0
+        if lam == 0:
+            return math.inf
+        if self.checkpoint_interval_seconds is not None:
+            # With checkpointing the stretch is bounded; spot wins iff
+            # discount * stretch(C) < 1, independent of T.
+            c = self.checkpoint_interval_seconds
+            stretch = math.expm1(lam * c) / (lam * c)
+            return math.inf if self.discount * stretch < 1.0 else 0.0
+        # Solve discount * (e^{lam T} - 1) / (lam T) = 1 by bisection.
+        lo, hi = 1.0, 3600.0 * 24 * 30
+        f = lambda t: self.discount * math.expm1(lam * t) / (lam * t) - 1.0
+        if f(lo) > 0:
+            return 0.0
+        if f(hi) < 0:
+            return math.inf
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if f(mid) > 0:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    def augment_stage_options(self, stages: List) -> List:
+        """Add spot variants to every stage's option list.
+
+        Returns new :class:`~repro.core.optimize.StageOptions` whose
+        options include, for every on-demand option, a spot twin priced at
+        the expected cost with the expected runtime — so the MCKP DP can
+        choose spot where the risk-adjusted economics win.
+        """
+        from ..core.optimize import ConfigOption, StageOptions
+
+        out = []
+        for stage_opts in stages:
+            options = list(stage_opts.options)
+            for opt in stage_opts.options:
+                q = self.quote(opt.vm, opt.runtime_seconds)
+                spot_vm = VMConfig(
+                    name=f"{opt.vm.name}.spot",
+                    family=opt.vm.family,
+                    vcpus=opt.vm.vcpus,
+                    memory_gb=opt.vm.memory_gb,
+                    price_per_hour=opt.vm.price_per_hour * self.discount,
+                    avx=opt.vm.avx,
+                )
+                options.append(
+                    ConfigOption(
+                        vm=spot_vm,
+                        runtime_seconds=max(1, int(round(q.expected_runtime))),
+                        price=q.expected_cost,
+                    )
+                )
+            out.append(StageOptions(stage=stage_opts.stage, options=options))
+        return out

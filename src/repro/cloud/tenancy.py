@@ -1,0 +1,113 @@
+"""Multi-tenancy interference model.
+
+Section II: cloud vendors share physical hosts among tenants behind a
+hypervisor.  The paper emulates VM sizes with cgroups on a dedicated
+machine, i.e. *without* noisy neighbours; production clouds add
+interference on shared resources (LLC, memory bandwidth).  This module
+models that effect so deployments can be stress-tested: a job's slowdown
+grows with neighbour load, weighted by how memory-intensive the job is
+(its cache-miss rate), which is the well-documented first-order behaviour
+of LLC/bandwidth contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["TenancyModel", "NeighborLoad"]
+
+
+@dataclass(frozen=True)
+class NeighborLoad:
+    """Co-tenant pressure on one shared host.
+
+    ``cpu`` and ``memory_bandwidth`` are utilizations in [0, 1] of the
+    host resources not reserved by the tenant's own VM.
+    """
+
+    cpu: float = 0.0
+    memory_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu <= 1.0:
+            raise ValueError("cpu load must be in [0, 1]")
+        if not 0.0 <= self.memory_bandwidth <= 1.0:
+            raise ValueError("memory_bandwidth load must be in [0, 1]")
+
+
+class TenancyModel:
+    """Translates neighbour load into a job slowdown factor.
+
+    Parameters
+    ----------
+    cpu_sensitivity:
+        Max fractional slowdown from pure CPU contention (SMT siblings,
+        power budgets).  Dedicated vCPUs keep this small.
+    bandwidth_sensitivity:
+        Max fractional slowdown for a *fully* memory-bound job under
+        saturated neighbour bandwidth.
+    """
+
+    def __init__(
+        self,
+        cpu_sensitivity: float = 0.05,
+        bandwidth_sensitivity: float = 0.45,
+    ):
+        if cpu_sensitivity < 0 or bandwidth_sensitivity < 0:
+            raise ValueError("sensitivities must be non-negative")
+        self.cpu_sensitivity = cpu_sensitivity
+        self.bandwidth_sensitivity = bandwidth_sensitivity
+
+    def slowdown(self, neighbor: NeighborLoad, cache_miss_rate: float) -> float:
+        """Multiplicative slowdown (>= 1.0) for a job on a shared host.
+
+        ``cache_miss_rate`` is the job's own LLC miss rate — the proxy for
+        how much it depends on the contended memory system.
+        """
+        if not 0.0 <= cache_miss_rate <= 1.0:
+            raise ValueError("cache_miss_rate must be in [0, 1]")
+        cpu_term = self.cpu_sensitivity * neighbor.cpu
+        mem_term = (
+            self.bandwidth_sensitivity * neighbor.memory_bandwidth * cache_miss_rate
+        )
+        return 1.0 + cpu_term + mem_term
+
+    def effective_runtime(
+        self,
+        runtime_seconds: float,
+        neighbor: NeighborLoad,
+        cache_miss_rate: float,
+    ) -> float:
+        """Runtime under interference."""
+        return runtime_seconds * self.slowdown(neighbor, cache_miss_rate)
+
+    def sample_neighbors(
+        self, count: int, seed: int = 0, heavy_fraction: float = 0.2
+    ) -> List[NeighborLoad]:
+        """Draw a random co-tenant population.
+
+        A ``heavy_fraction`` of hosts carry streaming/memory-heavy
+        neighbours; the rest are lightly loaded web-style tenants.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = random.Random(seed)
+        out: List[NeighborLoad] = []
+        for _ in range(count):
+            if rng.random() < heavy_fraction:
+                out.append(
+                    NeighborLoad(
+                        cpu=rng.uniform(0.5, 0.95),
+                        memory_bandwidth=rng.uniform(0.5, 0.95),
+                    )
+                )
+            else:
+                out.append(
+                    NeighborLoad(
+                        cpu=rng.uniform(0.05, 0.4),
+                        memory_bandwidth=rng.uniform(0.0, 0.3),
+                    )
+                )
+        return out

@@ -1,0 +1,309 @@
+"""Cloud deployment optimization via multi-choice knapsack (Problem 3).
+
+Given per-stage runtimes under each VM configuration and a total-runtime
+(deadline) constraint ``C``, select exactly one configuration per stage.
+The paper maps this to the Multi-Choice Knapsack Problem (MCKP):
+
+.. math::
+
+    z_l(C) = \\max \\sum_{i,j} s_{ij} \\frac{1}{p_{ij}}
+    \\quad\\text{s.t.}\\quad \\sum_{i,j} s_{ij} t_{ij} \\le C,\\;
+    \\sum_j s_{ij} = 1
+
+and solves it optimally with the Dudzinski-Walukiewicz pseudo-polynomial
+dynamic program, runtimes rounded to whole seconds (valid because cloud
+VMs bill per second).
+
+Besides the paper's objective (maximize the sum of *price reciprocals*)
+this module implements direct cost minimization — the two are **not** the
+same objective, and the ablation benchmark quantifies when they diverge —
+plus brute-force and greedy references, and the over-/under-provisioning
+baselines of Figure 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cloud.instance import VMConfig
+from ..cloud.pricing import PricingTable, aws_like_catalog
+from ..cloud.provisioner import RECOMMENDED_FAMILY, DeploymentPlan
+from ..eda.job import EDAStage
+
+__all__ = [
+    "ConfigOption",
+    "StageOptions",
+    "Selection",
+    "build_stage_options",
+    "solve_mckp_dp",
+    "solve_min_cost_dp",
+    "solve_brute_force",
+    "solve_greedy",
+    "over_provisioning",
+    "under_provisioning",
+    "cost_saving_percent",
+]
+
+
+@dataclass(frozen=True)
+class ConfigOption:
+    """One selectable (VM, runtime) pair for a stage.
+
+    ``runtime_seconds`` is pre-rounded to a whole second; ``price`` is the
+    total cost of the stage on this VM.
+    """
+
+    vm: VMConfig
+    runtime_seconds: int
+    price: float
+
+    @property
+    def inverse_price(self) -> float:
+        """The paper's per-item value, ``1 / p_ij``."""
+        return 1.0 / self.price
+
+    @property
+    def label(self) -> str:
+        return f"{self.vm.name}@{self.vm.vcpus}v"
+
+
+@dataclass
+class StageOptions:
+    """All configurations available to one flow stage."""
+
+    stage: EDAStage
+    options: List[ConfigOption]
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError(f"stage {self.stage.value} has no options")
+
+    @property
+    def fastest(self) -> ConfigOption:
+        return min(self.options, key=lambda o: o.runtime_seconds)
+
+    @property
+    def cheapest(self) -> ConfigOption:
+        return min(self.options, key=lambda o: o.price)
+
+
+@dataclass
+class Selection:
+    """A complete one-option-per-stage assignment."""
+
+    choices: Dict[EDAStage, ConfigOption] = field(default_factory=dict)
+
+    @property
+    def total_runtime(self) -> int:
+        return sum(o.runtime_seconds for o in self.choices.values())
+
+    @property
+    def total_cost(self) -> float:
+        return sum(o.price for o in self.choices.values())
+
+    @property
+    def objective_inverse_price(self) -> float:
+        return sum(o.inverse_price for o in self.choices.values())
+
+    def to_plan(self, design: str) -> DeploymentPlan:
+        """Convert to a :class:`~repro.cloud.provisioner.DeploymentPlan`."""
+        plan = DeploymentPlan(design=design)
+        for stage in EDAStage.ordered():
+            if stage in self.choices:
+                opt = self.choices[stage]
+                plan.add(stage, opt.vm, opt.runtime_seconds)
+        return plan
+
+
+def build_stage_options(
+    stage_runtimes: Mapping[EDAStage, Mapping[int, float]],
+    catalog: Optional[PricingTable] = None,
+    families: Optional[Mapping[EDAStage, object]] = None,
+) -> List[StageOptions]:
+    """Build the MCKP item classes from runtimes and the pricing table.
+
+    ``stage_runtimes[stage][vcpus]`` gives the (predicted or measured)
+    runtime in seconds; each stage's VM family follows the
+    characterization's recommendation unless overridden.
+    """
+    catalog = catalog if catalog is not None else aws_like_catalog()
+    families = families if families is not None else RECOMMENDED_FAMILY
+    out: List[StageOptions] = []
+    for stage in EDAStage.ordered():
+        if stage not in stage_runtimes:
+            continue
+        options: List[ConfigOption] = []
+        for vcpus, runtime in sorted(stage_runtimes[stage].items()):
+            vm = catalog.config(families[stage], vcpus)
+            seconds = max(1, int(round(runtime)))
+            options.append(
+                ConfigOption(vm=vm, runtime_seconds=seconds, price=vm.cost(seconds))
+            )
+        out.append(StageOptions(stage=stage, options=options))
+    return out
+
+
+def _check_deadline(stages: Sequence[StageOptions], deadline_seconds: float) -> int:
+    if deadline_seconds <= 0:
+        raise ValueError("deadline must be positive")
+    return int(math.floor(deadline_seconds))
+
+
+def solve_mckp_dp(
+    stages: Sequence[StageOptions], deadline_seconds: float
+) -> Optional[Selection]:
+    """Optimal MCKP solution, maximizing Σ 1/p (the paper's objective).
+
+    Pseudo-polynomial dynamic programming over integer seconds
+    (Dudzinski & Walukiewicz); returns ``None`` when the deadline cannot be
+    met even with the fastest configuration everywhere (the paper's "NA").
+    """
+    return _solve_dp(stages, deadline_seconds, maximize_inverse_price=True)
+
+
+def solve_min_cost_dp(
+    stages: Sequence[StageOptions], deadline_seconds: float
+) -> Optional[Selection]:
+    """Optimal deadline-constrained *minimum total cost* selection.
+
+    Same DP skeleton with the direct objective; kept for the objective
+    ablation (Σ 1/p maximization is not cost minimization).
+    """
+    return _solve_dp(stages, deadline_seconds, maximize_inverse_price=False)
+
+
+def _solve_dp(
+    stages: Sequence[StageOptions],
+    deadline_seconds: float,
+    maximize_inverse_price: bool,
+) -> Optional[Selection]:
+    if not stages:
+        return Selection()
+    capacity = _check_deadline(stages, deadline_seconds)
+    neg_inf = float("-inf")
+
+    # value[c] = best objective over the stages processed so far with total
+    # time exactly c; choices[l][c] backtracks the option index.
+    value = [0.0 if c == 0 else neg_inf for c in range(capacity + 1)]
+    choices: List[List[int]] = []
+
+    for stage_opts in stages:
+        new_value = [neg_inf] * (capacity + 1)
+        new_choice = [-1] * (capacity + 1)
+        for j, opt in enumerate(stage_opts.options):
+            t = opt.runtime_seconds
+            gain = opt.inverse_price if maximize_inverse_price else -opt.price
+            for c in range(t, capacity + 1):
+                prev = value[c - t]
+                if prev == neg_inf:
+                    continue
+                candidate = prev + gain
+                if candidate > new_value[c]:
+                    new_value[c] = candidate
+                    new_choice[c] = j
+        value = new_value
+        choices.append(new_choice)
+
+    best_c = max(
+        range(capacity + 1), key=lambda c: value[c], default=0
+    )
+    if value[best_c] == neg_inf:
+        return None
+
+    # Backtrack.
+    selection = Selection()
+    c = best_c
+    for stage_idx in range(len(stages) - 1, -1, -1):
+        j = choices[stage_idx][c]
+        if j < 0:
+            return None
+        opt = stages[stage_idx].options[j]
+        selection.choices[stages[stage_idx].stage] = opt
+        c -= opt.runtime_seconds
+    return selection
+
+
+def solve_brute_force(
+    stages: Sequence[StageOptions],
+    deadline_seconds: float,
+    maximize_inverse_price: bool = True,
+) -> Optional[Selection]:
+    """Exhaustive reference solver (exponential; for tests and ablations)."""
+    capacity = _check_deadline(stages, deadline_seconds)
+    best: Optional[Selection] = None
+    best_key: Optional[Tuple[float, float]] = None
+    for combo in itertools.product(*[s.options for s in stages]):
+        total_t = sum(o.runtime_seconds for o in combo)
+        if total_t > capacity:
+            continue
+        if maximize_inverse_price:
+            objective = sum(o.inverse_price for o in combo)
+            key = (objective, -total_t)
+            better = best_key is None or key > best_key
+        else:
+            objective = sum(o.price for o in combo)
+            key = (-objective, -total_t)
+            better = best_key is None or key > best_key
+        if better:
+            best_key = key
+            best = Selection(
+                choices={s.stage: o for s, o in zip(stages, combo)}
+            )
+    return best
+
+
+def solve_greedy(
+    stages: Sequence[StageOptions], deadline_seconds: float
+) -> Optional[Selection]:
+    """Greedy heuristic: start cheapest, buy speed with the best time/$ ratio.
+
+    Not optimal — kept as the quality baseline for the solver ablation.
+    """
+    capacity = _check_deadline(stages, deadline_seconds)
+    selection = Selection(
+        choices={s.stage: s.cheapest for s in stages}
+    )
+    stage_by_name = {s.stage: s for s in stages}
+    while selection.total_runtime > capacity:
+        best_stage: Optional[EDAStage] = None
+        best_option: Optional[ConfigOption] = None
+        best_ratio = -1.0
+        for stage, current in selection.choices.items():
+            for opt in stage_by_name[stage].options:
+                saved = current.runtime_seconds - opt.runtime_seconds
+                extra = opt.price - current.price
+                if saved <= 0:
+                    continue
+                ratio = saved / max(extra, 1e-9)
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_stage = stage
+                    best_option = opt
+        if best_stage is None or best_option is None:
+            return None  # cannot meet the deadline
+        selection.choices[best_stage] = best_option
+    return selection
+
+
+def over_provisioning(stages: Sequence[StageOptions]) -> Selection:
+    """Run every stage on the largest vCPU configuration (Figure 6 baseline)."""
+    return Selection(
+        choices={s.stage: max(s.options, key=lambda o: o.vm.vcpus) for s in stages}
+    )
+
+
+def under_provisioning(stages: Sequence[StageOptions]) -> Selection:
+    """Run every stage on the smallest vCPU configuration (Figure 6 baseline)."""
+    return Selection(
+        choices={s.stage: min(s.options, key=lambda o: o.vm.vcpus) for s in stages}
+    )
+
+
+def cost_saving_percent(optimized_cost: float, baseline_cost: float) -> float:
+    """Percentage saved relative to a baseline (Figure 6's y-axis)."""
+    if baseline_cost <= 0:
+        raise ValueError("baseline cost must be positive")
+    return 100.0 * (baseline_cost - optimized_cost) / baseline_cost

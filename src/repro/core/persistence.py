@@ -1,0 +1,100 @@
+"""Save/load trained predictor suites.
+
+Training the per-application GCNs is the expensive step of the workflow
+(minutes); deployment decisions are milliseconds.  Teams therefore train
+once and reuse — this module serializes a
+:class:`~repro.core.predict.PredictorSuite` to a single ``.npz`` archive
+(weights, target normalization, and architecture metadata) and restores it
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..eda.job import EDAStage
+from ..gnn import RuntimeGCN
+from ..gnn.training import EvalResult, TrainResult
+from .predict import PredictorSuite, StagePredictor
+
+__all__ = ["save_suite", "load_suite"]
+
+_FORMAT_VERSION = 1
+
+
+def save_suite(suite: PredictorSuite, path: str) -> None:
+    """Serialize a trained suite to a ``.npz`` archive."""
+    arrays: Dict[str, np.ndarray] = {
+        "__version__": np.array([_FORMAT_VERSION]),
+        "__stages__": np.array(
+            [stage.value for stage in suite.predictors], dtype="U16"
+        ),
+    }
+    for stage, predictor in suite.predictors.items():
+        prefix = f"{stage.value}/"
+        model = predictor.model
+        arrays[prefix + "arch"] = np.array(
+            [
+                model.gcn1.weight.shape[0],  # feature dim
+                model.gcn1.weight.shape[1],  # hidden1
+                model.gcn2.weight.shape[1],  # hidden2
+                model.fc.weight.shape[1],  # fc units
+                model.head.weight.shape[1],  # outputs
+            ]
+        )
+        arrays[prefix + "pool"] = np.array([model.readout.mode], dtype="U8")
+        arrays[prefix + "offset"] = predictor.target_offset
+        arrays[prefix + "std"] = predictor.target_std
+        for i, param in enumerate(model.state_dict()):
+            arrays[prefix + f"param{i}"] = param
+    np.savez_compressed(path, **arrays)
+
+
+def load_suite(path: str) -> PredictorSuite:
+    """Restore a suite saved by :func:`save_suite`.
+
+    Evaluation results are not persisted (they describe the training run,
+    not the model); the restored predictors carry empty placeholders.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["__version__"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        suite = PredictorSuite()
+        for stage_name in archive["__stages__"]:
+            stage = EDAStage(str(stage_name))
+            prefix = f"{stage.value}/"
+            feature_dim, hidden1, hidden2, fc_units, outputs = (
+                int(x) for x in archive[prefix + "arch"]
+            )
+            model = RuntimeGCN(
+                feature_dim=feature_dim,
+                hidden1=hidden1,
+                hidden2=hidden2,
+                fc_units=fc_units,
+                outputs=outputs,
+                pool=str(archive[prefix + "pool"][0]),
+            )
+            state = []
+            i = 0
+            while prefix + f"param{i}" in archive:
+                state.append(archive[prefix + f"param{i}"])
+                i += 1
+            model.load_state_dict(state)
+            placeholder_eval = EvalResult(
+                per_sample_error=np.zeros(0),
+                per_output_error=np.zeros((0, outputs)),
+                predictions=np.zeros((0, outputs)),
+            )
+            suite.predictors[stage] = StagePredictor(
+                stage=stage,
+                model=model,
+                target_offset=archive[prefix + "offset"],
+                target_std=archive[prefix + "std"],
+                train_result=TrainResult(),
+                train_eval=placeholder_eval,
+                test_eval=placeholder_eval,
+            )
+    return suite

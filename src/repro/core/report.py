@@ -1,0 +1,190 @@
+"""Text renderers for the paper's tables and figures.
+
+Every experiment's bench prints through these, so the console output has
+the same rows/series the paper reports: Figure 2's four panels, Figure 3's
+speedup-vs-design table, Figure 5's error histogram, Table I, and Figure
+6's savings bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..eda.job import EDAStage
+from .characterize import CharacterizationReport
+from .optimize import Selection, StageOptions
+
+__all__ = [
+    "render_figure2",
+    "render_figure3",
+    "render_figure5",
+    "render_table1",
+    "render_figure6",
+    "format_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Minimal fixed-width table renderer."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_figure2(report: CharacterizationReport) -> str:
+    """Figure 2: the four characterization panels as tables."""
+    sections = []
+    stages = [s for s in EDAStage.ordered() if s in report.stages]
+    levels = report.stages[stages[0]].vcpu_levels
+
+    def panel(title: str, getter) -> str:
+        headers = ["vCPUs"] + [s.display_name for s in stages]
+        rows = []
+        for v in levels:
+            row = [str(v)]
+            for s in stages:
+                row.append(f"{100 * getter(report.stages[s])[v]:.2f}%")
+            rows.append(row)
+        return f"{title}\n{format_table(headers, rows)}"
+
+    sections.append(
+        panel("(a) Branch misses (% of all branches)", lambda c: c.branch_miss_rates())
+    )
+    sections.append(
+        panel("(b) Cache misses (% of cache references)", lambda c: c.cache_miss_rates())
+    )
+    sections.append(
+        panel("(c) AVX utilization (% of instructions)", lambda c: c.avx_shares())
+    )
+    headers = ["vCPUs"] + [s.display_name for s in stages]
+    rows = []
+    for v in levels:
+        rows.append([str(v)] + [f"{report.stages[s].speedup(v):.2f}x" for s in stages])
+    sections.append(f"(d) Speedup vs. 1 vCPU\n{format_table(headers, rows)}")
+    sections.append("Main takeaways:")
+    sections.extend(f"  - {line}" for line in report.recommendations_text())
+    return "\n\n".join(sections)
+
+
+def render_figure3(speedups_by_design: Mapping[str, Mapping[int, float]]) -> str:
+    """Figure 3: routing speedup per design (smallest to largest)."""
+    designs = list(speedups_by_design)
+    levels = sorted(next(iter(speedups_by_design.values())))
+    headers = ["design"] + [f"{v} vCPU" for v in levels]
+    rows = [
+        [name] + [f"{speedups_by_design[name][v]:.2f}x" for v in levels]
+        for name in designs
+    ]
+    return "Routing speedup for different designs\n" + format_table(headers, rows)
+
+
+def render_figure5(
+    histograms: Mapping[str, Mapping[str, int]],
+    mean_errors: Mapping[str, float],
+) -> str:
+    """Figure 5: prediction error histograms plus the average errors."""
+    parts = []
+    for name, hist in histograms.items():
+        total = sum(hist.values()) or 1
+        lines = [f"Prediction error histogram — {name}"]
+        for label, count in hist.items():
+            bar = "#" * int(round(40 * count / total))
+            lines.append(f"  {label:>9s} | {bar} {count}")
+        parts.append("\n".join(lines))
+    parts.append(
+        "Average errors: "
+        + ", ".join(f"{k}: {100 * v:.1f}%" for k, v in mean_errors.items())
+    )
+    return "\n\n".join(parts)
+
+
+def render_table1(
+    stages: Sequence[StageOptions],
+    constraints: Sequence[float],
+    selections: Mapping[float, Optional[Selection]],
+) -> str:
+    """Table I: per-stage runtime/cost menu plus selections per deadline."""
+    headers = ["stage", "family"] + [
+        f"{opt.vm.vcpus}v" for opt in stages[0].options
+    ]
+    rt_rows = []
+    cost_rows = []
+    for s in stages:
+        rt_rows.append(
+            [s.stage.display_name, s.options[0].vm.family.display_name]
+            + [f"{o.runtime_seconds:,}" for o in s.options]
+        )
+        cost_rows.append(
+            [s.stage.display_name, ""]
+            + [f"${o.price:.2f}" for o in s.options]
+        )
+    parts = [
+        "Runtime (sec) per configuration\n" + format_table(headers, rt_rows),
+        "Cost ($) per configuration\n" + format_table(headers, cost_rows),
+    ]
+    sel_headers = ["constraint"] + [
+        s.stage.display_name for s in stages
+    ] + ["total runtime", "min cost ($)"]
+    sel_rows = []
+    for c in constraints:
+        selection = selections[c]
+        if selection is None:
+            sel_rows.append([f"{c:,.0f}"] + ["NA"] * (len(stages) + 2))
+            continue
+        row = [f"{c:,.0f}"]
+        for s in stages:
+            opt = selection.choices[s.stage]
+            row.append(f"{opt.vm.vcpus}v")
+        row.append(f"{selection.total_runtime:,}")
+        row.append(f"{selection.total_cost:.2f}")
+        sel_rows.append(row)
+    parts.append(
+        "Recommended configuration per total-runtime constraint\n"
+        + format_table(sel_headers, sel_rows)
+    )
+    return "\n\n".join(parts)
+
+
+def render_figure6(
+    rows: Sequence[Mapping[str, float]],
+) -> str:
+    """Figure 6: cost savings vs over-/under-provisioning per deadline.
+
+    Each row needs keys ``constraint``, ``optimized``, ``over``, ``under``,
+    ``saving_over`` and ``saving_under`` (percentages).
+    """
+    headers = [
+        "constraint",
+        "optimized $",
+        "over-prov $",
+        "under-prov $",
+        "saving vs over",
+        "saving vs under",
+    ]
+    table_rows = []
+    savings = []
+    for r in rows:
+        table_rows.append(
+            [
+                f"{r['constraint']:,.0f}",
+                f"{r['optimized']:.2f}",
+                f"{r['over']:.2f}",
+                f"{r['under']:.2f}",
+                f"{r['saving_over']:.1f}%",
+                f"{r['saving_under']:.1f}%",
+            ]
+        )
+        savings.extend([r["saving_over"], r["saving_under"]])
+    avg = sum(savings) / len(savings) if savings else 0.0
+    return (
+        "Cost savings from the multi-choice knapsack optimization\n"
+        + format_table(headers, table_rows)
+        + f"\nAverage cost saving: {avg:.2f}%"
+    )

@@ -1,0 +1,53 @@
+"""The four EDA applications, built from scratch.
+
+* :mod:`repro.eda.synthesis` — AIG optimization + technology mapping.
+* :mod:`repro.eda.placement` — analytical gradient-descent placement.
+* :mod:`repro.eda.routing` — negotiated-congestion grid routing.
+* :mod:`repro.eda.sta` — levelized static timing analysis.
+* :mod:`repro.eda.flow` — the chained four-stage flow.
+
+Shared infrastructure: :mod:`repro.eda.job` (results),
+:mod:`repro.eda.cuts` / :mod:`repro.eda.truthtables` (synthesis kernels),
+:mod:`repro.eda.calibration` (op-count-to-seconds constants).
+"""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .flow import FlowResult, FlowRunner
+from .job import EDAStage, JobResult
+from .placement import Placement, PlacementEngine
+from .routing import GlobalRouter, RouteSegment, RoutingResult
+from .sta import STAEngine, TimingReport
+from .synthesis import (
+    DEFAULT_RECIPE,
+    MappingStats,
+    SynthesisEngine,
+    TechnologyMapper,
+    apply_recipe,
+    balance,
+    recipe_variants,
+    restructure,
+)
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "FlowResult",
+    "FlowRunner",
+    "EDAStage",
+    "JobResult",
+    "Placement",
+    "PlacementEngine",
+    "GlobalRouter",
+    "RouteSegment",
+    "RoutingResult",
+    "STAEngine",
+    "TimingReport",
+    "DEFAULT_RECIPE",
+    "MappingStats",
+    "SynthesisEngine",
+    "TechnologyMapper",
+    "apply_recipe",
+    "balance",
+    "recipe_variants",
+    "restructure",
+]

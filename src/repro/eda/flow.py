@@ -1,0 +1,118 @@
+"""Four-stage EDA flow runner: synthesis -> placement -> routing -> STA.
+
+Chains the engines with their natural artifact hand-offs (AIG -> netlist ->
+placement -> routing/timing) and returns the per-stage
+:class:`~repro.eda.job.JobResult` objects — which is exactly the unit the
+paper's Table I operates on (one runtime/cost row per stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..netlist.aig import AIG
+from ..netlist.cells import Library, nangate_lite
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .job import EDAStage, JobResult
+from .placement import PlacementEngine
+from .routing import GlobalRouter
+from .sta import STAEngine
+from .synthesis import DEFAULT_RECIPE, SynthesisEngine
+
+__all__ = ["FlowResult", "FlowRunner"]
+
+
+@dataclass
+class FlowResult:
+    """All four stage results for one design."""
+
+    design: str
+    stages: Dict[EDAStage, JobResult] = field(default_factory=dict)
+
+    def __getitem__(self, stage: EDAStage) -> JobResult:
+        return self.stages[stage]
+
+    def runtimes(self, vcpus: int) -> Dict[EDAStage, float]:
+        """Per-stage runtime at one vCPU level."""
+        return {stage: res.runtime(vcpus) for stage, res in self.stages.items()}
+
+    def total_runtime(self, vcpus: int) -> float:
+        """Flow runtime when every stage uses the same VM size."""
+        return sum(self.runtimes(vcpus).values())
+
+    def summary(self) -> str:
+        return "\n".join(res.summary() for res in self.stages.values())
+
+
+class FlowRunner:
+    """Runs the full flow with shared library and calibration.
+
+    Parameters
+    ----------
+    library:
+        Cell library used by synthesis and downstream stages.
+    calibration:
+        Op-count-to-seconds constants shared by all engines.
+    seed:
+        Seed forwarded to the seeded engines (placement, routing).
+    """
+
+    def __init__(
+        self,
+        library: Optional[Library] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        seed: int = 0,
+    ):
+        self.library = library if library is not None else nangate_lite()
+        self.calibration = calibration
+        self.synthesis = SynthesisEngine(self.library, calibration)
+        self.placement = PlacementEngine(calibration=calibration, seed=seed)
+        self.routing = GlobalRouter(calibration=calibration, seed=seed)
+        self.sta = STAEngine(calibration=calibration)
+
+    def run(
+        self,
+        aig: AIG,
+        recipe: Sequence[str] = DEFAULT_RECIPE,
+        seed: int = 0,
+        instruments: Optional[Mapping[EDAStage, object]] = None,
+    ) -> FlowResult:
+        """Run all four stages on a design.
+
+        Parameters
+        ----------
+        aig:
+            The input design.
+        recipe:
+            Synthesis pass sequence.
+        seed:
+            Synthesis recipe seed (structural-variant control).
+        instruments:
+            Optional per-stage perf instruments; stages without an entry run
+            uninstrumented (fast path).
+        """
+        instruments = instruments or {}
+        result = FlowResult(design=aig.name)
+
+        synth = self.synthesis.run(
+            aig, recipe=recipe, seed=seed,
+            instrument=instruments.get(EDAStage.SYNTHESIS),
+        )
+        result.stages[EDAStage.SYNTHESIS] = synth
+
+        place = self.placement.run(
+            synth.artifact, instrument=instruments.get(EDAStage.PLACEMENT)
+        )
+        result.stages[EDAStage.PLACEMENT] = place
+
+        route = self.routing.run(
+            place.artifact, instrument=instruments.get(EDAStage.ROUTING)
+        )
+        result.stages[EDAStage.ROUTING] = route
+
+        sta = self.sta.run(
+            place.artifact, instrument=instruments.get(EDAStage.STA)
+        )
+        result.stages[EDAStage.STA] = sta
+        return result

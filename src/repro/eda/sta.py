@@ -1,0 +1,306 @@
+"""Static timing analysis engine.
+
+The "STA" application of the characterization.  The paper attributes STA's
+signature to levelized graph traversal from inputs to outputs with
+floating-point delay arithmetic against the technology library — giving it
+the second-highest AVX utilization (Figure 2-c), a balanced memory profile
+(general-purpose VMs suffice), and modest multi-core scaling limited by
+level-to-level dependencies (Figure 2-d).
+
+Pipeline:
+
+1. Build the timing graph from the mapped netlist: one timing arc per
+   (input pin -> output pin) of every cell, plus a net arc from each driver
+   to each sink with an Elmore-style wire delay from placement wirelength.
+2. Forward propagation of arrival times in level order (vectorized per
+   level — the AVX-heavy part).
+3. Backward propagation of required times from a derived clock period;
+   slack = required - arrival; WNS/TNS and the critical path fall out.
+
+The artifact is a :class:`TimingReport`.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.netlist import PORT, Netlist
+from ..parallel import WorkProfile
+from ..perf.instrument import NullInstrument
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .job import EDAStage, JobResult
+from .placement import Placement
+
+__all__ = ["TimingReport", "STAEngine"]
+
+#: Wire delay per micron of estimated net length (picoseconds).
+WIRE_DELAY_PER_UM = 0.8
+
+
+@dataclass
+class TimingReport:
+    """Artifact of one STA run."""
+
+    clock_period: float
+    wns: float
+    tns: float
+    max_arrival: float
+    arrival: Dict[str, float]
+    slack: Dict[str, float]
+    critical_path: List[str] = field(default_factory=list)
+    num_arcs: int = 0
+    #: Earliest (min-delay) arrival per node, for hold analysis.
+    min_arrival: Dict[str, float] = field(default_factory=dict)
+    #: Worst hold slack: min over outputs of (earliest arrival - hold time).
+    hold_wns: float = 0.0
+
+    @property
+    def met(self) -> bool:
+        """Whether all paths meet the derived clock period."""
+        return self.wns >= 0.0
+
+    @property
+    def hold_met(self) -> bool:
+        """Whether the fastest paths clear the hold requirement."""
+        return self.hold_wns >= 0.0
+
+
+class STAEngine:
+    """Levelized static timing analyzer.
+
+    Parameters
+    ----------
+    clock_margin:
+        The derived clock period is ``(1 + clock_margin) * max_arrival`` —
+        nonzero margin yields positive slacks; a negative margin creates
+        violations (useful in tests).
+    hold_time:
+        Hold requirement in picoseconds at the capture boundary: the
+        *earliest* output arrival (min-delay analysis) must exceed it.
+    """
+
+    def __init__(
+        self,
+        clock_margin: float = 0.1,
+        hold_time: float = 0.0,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ):
+        self.clock_margin = clock_margin
+        self.hold_time = hold_time
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    def run(self, placement: Placement, instrument=None) -> JobResult:
+        """Analyze timing of a placed netlist; artifact is a :class:`TimingReport`."""
+        inst = instrument if instrument is not None else NullInstrument()
+        netlist = placement.netlist
+        library = netlist.library
+
+        # Net loads: sink pin caps + wire cap from placement HPWL.
+        net_load: Dict[str, float] = {}
+        net_wire_delay: Dict[str, float] = {}
+        for net_name, net in netlist.nets.items():
+            cap = 0.0
+            for owner, pin in net.sinks:
+                if owner != PORT:
+                    cap += netlist.instances[owner].cell.input_cap
+            hpwl = placement.net_hpwl(net_name)
+            cap += library.wire_cap_per_um * hpwl
+            net_load[net_name] = cap
+            net_wire_delay[net_name] = WIRE_DELAY_PER_UM * hpwl
+
+        # Forward propagation in level order.
+        order = netlist.topological_order()
+        levels = netlist.levels()
+        by_level: Dict[int, List[str]] = {}
+        for name in order:
+            by_level.setdefault(levels[name], []).append(name)
+
+        arrival: Dict[str, float] = {p: 0.0 for p in netlist.input_ports}
+        min_arrival: Dict[str, float] = {p: 0.0 for p in netlist.input_ports}
+        node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(netlist.input_ports)
+        }
+        arcs = 0
+        max_branches: List[bool] = []
+        addresses: List[int] = []
+        for level in sorted(by_level):
+            batch = by_level[level]
+            batch_delays = 0
+            for inst_name in batch:
+                cell_inst = netlist.instances[inst_name]
+                cell = cell_inst.cell
+                load = net_load[cell_inst.output_net]
+                cell_delay = cell.delay(load)
+                best = 0.0
+                earliest = math.inf
+                for in_net in cell_inst.input_nets:
+                    driver = netlist.driver_instance(in_net)
+                    key = in_net if driver is None else driver
+                    src_arrival = arrival[key]
+                    src_min = min_arrival[key]
+                    earliest = min(
+                        earliest, src_min + net_wire_delay[in_net] + cell_delay
+                    )
+                    # Arrival reads reach back arbitrarily many levels: they
+                    # miss L1 but sit in the LLC-resident arrival array.
+                    addresses.append((2 << 24) + (node_index.get(key, 0) & 0x7FF) * 8)
+                    t = src_arrival + net_wire_delay[in_net] + cell_delay
+                    arcs += 1
+                    batch_delays += 1
+                    is_new_max = t > best
+                    max_branches.append(is_new_max)
+                    if is_new_max:
+                        best = t
+                arrival[inst_name] = best
+                min_arrival[inst_name] = earliest if math.isfinite(earliest) else best
+                node_index[inst_name] = len(node_index)
+                addresses.append((len(arrival) & 0x3FF) * 8)
+                # Library NLDM table lookup: a small, hot region.
+                addresses.append(
+                    (1 << 23) + (zlib.crc32(cell.name.encode()) & 0x1F) * 64
+                )
+            if inst.enabled and batch:
+                # Per-level vectorized delay evaluation (interpolating the
+                # library tables) is the AVX-heavy kernel.
+                inst.flops(avx=8 * batch_delays, scalar=2 * len(batch))
+
+        max_arrival = 0.0
+        po_arrival: Dict[str, float] = {}
+        min_po_arrival = math.inf
+        for port in netlist.output_ports:
+            net_name = netlist.output_port_nets[port]
+            driver = netlist.driver_instance(net_name)
+            key = net_name if driver is None else driver
+            t = arrival[key] + net_wire_delay[net_name]
+            po_arrival[port] = t
+            max_arrival = max(max_arrival, t)
+            min_po_arrival = min(
+                min_po_arrival, min_arrival[key] + net_wire_delay[net_name]
+            )
+        if not math.isfinite(min_po_arrival):
+            min_po_arrival = 0.0
+
+        clock_period = (1.0 + self.clock_margin) * max_arrival
+
+        # Backward propagation of required times.
+        required: Dict[str, float] = {}
+        for port in netlist.output_ports:
+            net_name = netlist.output_port_nets[port]
+            driver = netlist.driver_instance(net_name)
+            key = net_name if driver is None else driver
+            req = clock_period - net_wire_delay[net_name]
+            required[key] = min(required.get(key, math.inf), req)
+        for inst_name in reversed(order):
+            cell_inst = netlist.instances[inst_name]
+            cell = cell_inst.cell
+            load = net_load[cell_inst.output_net]
+            cell_delay = cell.delay(load)
+            own_req = required.get(inst_name, math.inf)
+            for in_net in cell_inst.input_nets:
+                driver = netlist.driver_instance(in_net)
+                key = in_net if driver is None else driver
+                req = own_req - net_wire_delay[in_net] - cell_delay
+                arcs += 1
+                required[key] = min(required.get(key, math.inf), req)
+            addresses.append((1 << 24) + (len(required) & 0x3FF) * 8)
+
+        slack: Dict[str, float] = {}
+        for key, arr in arrival.items():
+            req = required.get(key, math.inf)
+            slack[key] = req - arr if math.isfinite(req) else math.inf
+        finite_slacks = [s for s in slack.values() if math.isfinite(s)]
+        wns = min(finite_slacks) if finite_slacks else 0.0
+        tns = sum(s for s in finite_slacks if s < 0.0)
+
+        critical = self._critical_path(netlist, arrival, po_arrival, net_wire_delay)
+
+        if inst.enabled:
+            inst.branch(0xC00, max_branches)
+            # Multi-corner analysis re-traverses the same arrays.
+            for _corner in range(3):
+                inst.mem(addresses, reads_per_element=1)
+            # Predictable levelized loop control.
+            inst.branch(0xC10, [True] * 63 + [False], weight=max(1, arcs // 64))
+            inst.instructions(3 * arcs)
+
+        cal = self.calibration
+        profile = WorkProfile(name=f"sta:{netlist.name}")
+        level_parallel = cal.sta_parallel_fraction
+        profile.add(
+            arcs * cal.sta_sec_per_arc * level_parallel,
+            parallelism=cal.sta_parallel_limit,
+            name="arc-propagation",
+        )
+        profile.add(
+            arcs * cal.sta_sec_per_arc * (1.0 - level_parallel),
+            parallelism=1,
+            name="levelize+report",
+        )
+
+        report = TimingReport(
+            clock_period=clock_period,
+            wns=wns,
+            tns=tns,
+            max_arrival=max_arrival,
+            arrival=arrival,
+            slack=slack,
+            critical_path=critical,
+            num_arcs=arcs,
+            min_arrival=min_arrival,
+            hold_wns=min_po_arrival - self.hold_time,
+        )
+        return JobResult(
+            stage=EDAStage.STA,
+            design=netlist.name,
+            profile=profile,
+            counters=inst.counters,
+            artifact=report,
+            metrics={
+                "arcs": float(arcs),
+                "max_arrival": max_arrival,
+                "wns": wns,
+                "tns": tns,
+                "clock_period": clock_period,
+                "hold_wns": min_po_arrival - self.hold_time,
+            },
+        )
+
+    @staticmethod
+    def _critical_path(
+        netlist: Netlist,
+        arrival: Dict[str, float],
+        po_arrival: Dict[str, float],
+        net_wire_delay: Dict[str, float],
+    ) -> List[str]:
+        """Walk the max-arrival chain backwards from the latest output."""
+        if not po_arrival:
+            return []
+        end_port = max(po_arrival, key=lambda p: po_arrival[p])
+        path: List[str] = [end_port]
+        net_name = netlist.output_port_nets[end_port]
+        current = netlist.driver_instance(net_name)
+        while current is not None:
+            path.append(current)
+            cell_inst = netlist.instances[current]
+            best_key: Optional[str] = None
+            best_t = -math.inf
+            for in_net in cell_inst.input_nets:
+                driver = netlist.driver_instance(in_net)
+                key = in_net if driver is None else driver
+                t = arrival[key] + net_wire_delay[in_net]
+                if t > best_t:
+                    best_t = t
+                    best_key = None if driver is None else driver
+                    best_net = in_net
+            if best_key is None:
+                path.append(best_net)
+                break
+            current = best_key
+        path.reverse()
+        return path

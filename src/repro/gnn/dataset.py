@@ -1,0 +1,83 @@
+"""Dataset containers and design-level splitting.
+
+Mirrors the paper's dataset protocol (Section IV): netlist variants are
+generated per *design*, and the train/test split is **by design** — "netlists
+of the test set belong to unseen designs in the training set" — so the model
+is evaluated on generalization to new circuits, not memorization of seen
+ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.stargraph import GraphSample
+from .graph import PreparedGraph
+
+__all__ = ["RuntimeSample", "split_by_design", "log_targets", "unlog_targets"]
+
+
+@dataclass
+class RuntimeSample:
+    """One (graph, measured runtimes) pair for a single application."""
+
+    graph: GraphSample
+    runtimes: np.ndarray  # seconds at (1, 2, 4, 8) vCPUs
+    design: str
+    variant: int = 0
+    prepared: PreparedGraph = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.runtimes = np.asarray(self.runtimes, dtype=np.float64)
+        if self.runtimes.shape != (4,):
+            raise ValueError("runtimes must have shape (4,)")
+        if np.any(self.runtimes <= 0):
+            raise ValueError("runtimes must be positive")
+        self.prepared = PreparedGraph(self.graph)
+
+    @property
+    def log_runtimes(self) -> np.ndarray:
+        return np.log(self.runtimes)
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Speedups at 2/4/8 vCPUs implied by the runtimes."""
+        return self.runtimes[0] / self.runtimes
+
+
+def log_targets(samples: Sequence[RuntimeSample]) -> np.ndarray:
+    """Stack log-runtime targets into an ``(n, 4)`` matrix."""
+    return np.stack([s.log_runtimes for s in samples])
+
+
+def unlog_targets(log_values: np.ndarray) -> np.ndarray:
+    """Invert :func:`log_targets`."""
+    return np.exp(log_values)
+
+
+def split_by_design(
+    samples: Sequence[RuntimeSample],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> Tuple[List[RuntimeSample], List[RuntimeSample]]:
+    """80/20 train/test split with whole designs held out.
+
+    All variants of a design land on the same side of the split, so test
+    designs are unseen during training (the paper's protocol).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    designs = sorted({s.design for s in samples})
+    if len(designs) < 2:
+        raise ValueError("need at least two designs to split by design")
+    rng = random.Random(seed)
+    rng.shuffle(designs)
+    num_test = max(1, int(round(test_fraction * len(designs))))
+    test_designs = set(designs[:num_test])
+    train = [s for s in samples if s.design not in test_designs]
+    test = [s for s in samples if s.design in test_designs]
+    return train, test

@@ -1,0 +1,79 @@
+"""Graph preprocessing for the GCN.
+
+Implements the aggregation operator of the paper's Equation (2): each node
+averages its in-neighbours' embeddings, i.e. multiplication by the
+row-normalized adjacency matrix ``D_in^-1 A``.  Edge *directions are
+preserved* (the paper stresses that the AIG/star graphs are DAGs), so the
+matrix is not symmetrized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..netlist.stargraph import GraphSample
+
+__all__ = ["normalized_adjacency", "PreparedGraph", "prepare"]
+
+
+def normalized_adjacency(sample: GraphSample) -> sp.csr_matrix:
+    """Row-normalized directed adjacency ``D_in^-1 A`` of a sample.
+
+    Row ``v`` holds ``1/|N(v)|`` at each in-neighbour ``u``, so
+    ``A_hat @ H`` computes the mean over in-neighbour embeddings.  Nodes
+    without in-edges get an all-zero row (their update comes entirely from
+    the self term ``B_k h_v``).
+    """
+    n = sample.num_nodes
+    if sample.num_edges == 0:
+        return sp.csr_matrix((n, n))
+    src = sample.edges[:, 0]
+    dst = sample.edges[:, 1]
+    indegree = np.bincount(dst, minlength=n).astype(np.float64)
+    weights = 1.0 / indegree[dst]
+    mat = sp.coo_matrix((weights, (dst, src)), shape=(n, n))
+    return mat.tocsr()
+
+
+class PreparedGraph:
+    """A sample with its normalized adjacency cached.
+
+    Building the sparse matrix once per sample (instead of per epoch)
+    dominates training throughput.
+    """
+
+    def __init__(self, sample: GraphSample):
+        self.sample = sample
+        self.a_hat = normalized_adjacency(sample)
+        self.features = sample.features
+        depth = float(sample.meta.get("depth", 1.0))
+        if sample.num_edges:
+            out_degree = np.bincount(sample.edges[:, 0], minlength=sample.num_nodes)
+            max_fanout = float(out_degree.max())
+            mean_degree = float(out_degree.mean())
+        else:
+            max_fanout = 0.0
+            mean_degree = 0.0
+        self.meta_vector = np.array(
+            [
+                np.log(max(sample.num_nodes, 1)),
+                np.log1p(sample.num_edges),
+                np.log1p(depth),
+                np.log1p(max_fanout),
+                mean_degree,
+            ]
+        )
+
+    @property
+    def name(self) -> str:
+        return self.sample.name
+
+    @property
+    def num_nodes(self) -> int:
+        return self.sample.num_nodes
+
+
+def prepare(samples) -> list:
+    """Prepare a list of :class:`GraphSample` objects for training."""
+    return [PreparedGraph(s) for s in samples]

@@ -1,0 +1,137 @@
+"""Neural layers with exact manual backward passes (numpy only).
+
+Implements the paper's GCN building blocks (Equation 2):
+
+.. math::
+
+    h_v^k = \\sigma\\Big( W_k \\sum_{u \\in N(v)} \\frac{h_u^{k-1}}{|N(v)|}
+            + B_k\\, h_v^{k-1} \\Big)
+
+as ``relu(A_hat @ H @ W + H @ B + bias)`` where ``A_hat`` is the
+row-normalized adjacency, plus dense layers and sum/mean pooling readouts.
+Every layer caches its forward activations and returns exact gradients —
+no autograd framework is available offline, and none is needed at this
+model size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Parameter", "GCNLayer", "DenseLayer", "Readout"]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = value
+        self.grad = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        self.grad[:] = 0.0
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+class GCNLayer:
+    """One graph-convolution layer with neighbour (W) and self (B) paths."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: str = "relu"):
+        if activation not in ("relu", "linear"):
+            raise ValueError("activation must be 'relu' or 'linear'")
+        self.weight = Parameter(_glorot(rng, in_dim, out_dim))
+        self.self_weight = Parameter(_glorot(rng, in_dim, out_dim))
+        self.bias = Parameter(np.zeros(out_dim))
+        self.activation = activation
+        self._cache: Dict[str, object] = {}
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.self_weight, self.bias]
+
+    def forward(self, h: np.ndarray, a_hat: sp.csr_matrix) -> np.ndarray:
+        """``relu(A_hat @ H @ W + H @ B + bias)``."""
+        agg = a_hat @ h
+        z = agg @ self.weight.value + h @ self.self_weight.value + self.bias.value
+        out = np.maximum(z, 0.0) if self.activation == "relu" else z
+        self._cache = {"h": h, "agg": agg, "z": z, "a_hat": a_hat}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        h = self._cache["h"]
+        agg = self._cache["agg"]
+        z = self._cache["z"]
+        a_hat = self._cache["a_hat"]
+        dz = grad_out * (z > 0.0) if self.activation == "relu" else grad_out
+        self.weight.grad += agg.T @ dz
+        self.self_weight.grad += h.T @ dz
+        self.bias.grad += dz.sum(axis=0)
+        dagg = dz @ self.weight.value.T
+        dh = a_hat.T @ dagg + dz @ self.self_weight.value.T
+        return dh
+
+
+class DenseLayer:
+    """Fully connected layer over a single vector (the pooled embedding)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: str = "relu"):
+        if activation not in ("relu", "linear"):
+            raise ValueError("activation must be 'relu' or 'linear'")
+        self.weight = Parameter(_glorot(rng, in_dim, out_dim))
+        self.bias = Parameter(np.zeros(out_dim))
+        self.activation = activation
+        self._cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        z = x @ self.weight.value + self.bias.value
+        out = np.maximum(z, 0.0) if self.activation == "relu" else z
+        self._cache = {"x": x, "z": z}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._cache["x"]
+        z = self._cache["z"]
+        dz = grad_out * (z > 0.0) if self.activation == "relu" else grad_out
+        self.weight.grad += np.outer(x, dz)
+        self.bias.grad += dz
+        return dz @ self.weight.value.T
+
+
+class Readout:
+    """Graph-level pooling: ``sum`` (paper's example) or size-stable ``mean``."""
+
+    def __init__(self, mode: str = "mean"):
+        if mode not in ("sum", "mean"):
+            raise ValueError("mode must be 'sum' or 'mean'")
+        self.mode = mode
+        self._num_nodes = 0
+
+    def forward(self, h: np.ndarray) -> np.ndarray:
+        self._num_nodes = h.shape[0]
+        if self.mode == "sum":
+            return h.sum(axis=0)
+        return h.mean(axis=0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = self._num_nodes
+        if self.mode == "sum":
+            return np.tile(grad_out, (n, 1))
+        return np.tile(grad_out / n, (n, 1))

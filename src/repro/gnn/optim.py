@@ -1,0 +1,69 @@
+"""Optimizers (Adam, plus plain SGD for comparisons)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Adam", "SGD"]
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba), the paper's choice (lr = 1e-4)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * (p.grad ** 2)
+            m_hat = m / (1 - b1 ** self._t)
+            v_hat = v / (1 - b2 ** self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD:
+    """Vanilla SGD, kept for optimizer ablations."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def step(self) -> None:
+        for p in self.parameters:
+            p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

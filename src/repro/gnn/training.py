@@ -1,0 +1,144 @@
+"""Training loop and evaluation metrics for the runtime predictor.
+
+Follows the paper's setup: MSE loss over the four runtime outputs jointly,
+Adam with lr = 1e-4, 200 epochs (configurable — scaled-down runs use
+fewer).  Targets are log-runtimes; evaluation reports *relative* runtime
+error, matching the paper's "87% accuracy / 13% average error" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .dataset import RuntimeSample
+from .model import RuntimeGCN
+from .optim import Adam
+
+__all__ = ["TrainConfig", "TrainResult", "train", "evaluate", "EvalResult"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters (paper defaults)."""
+
+    epochs: int = 200
+    lr: float = 1e-4
+    shuffle_seed: int = 0
+    log_every: int = 0  # 0 disables progress lines
+    target_center: bool = True  # subtract the train-set mean log-runtime
+    target_scale: bool = True  # divide by the train-set log-runtime std
+
+
+@dataclass
+class TrainResult:
+    """Loss history and the target normalization used."""
+
+    losses: List[float] = field(default_factory=list)
+    target_offset: np.ndarray = field(default_factory=lambda: np.zeros(4))
+    target_std: np.ndarray = field(default_factory=lambda: np.ones(4))
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train(
+    model: RuntimeGCN,
+    samples: Sequence[RuntimeSample],
+    config: TrainConfig = TrainConfig(),
+) -> TrainResult:
+    """Train the model in place; returns the loss history.
+
+    Per-sample (stochastic) updates: graphs have different node counts, so
+    batching would require padding for no gain at this scale.
+    """
+    if not samples:
+        raise ValueError("no training samples")
+    optimizer = Adam(model.parameters, lr=config.lr)
+    rng = np.random.default_rng(config.shuffle_seed)
+    result = TrainResult()
+    targets = np.stack([s.log_runtimes for s in samples])
+    if config.target_center:
+        result.target_offset = targets.mean(axis=0)
+    if config.target_scale:
+        result.target_std = np.maximum(targets.std(axis=0), 1e-3)
+    order = np.arange(len(samples))
+    for epoch in range(config.epochs):
+        rng.shuffle(order)
+        epoch_loss = 0.0
+        for idx in order:
+            sample = samples[idx]
+            target = (
+                sample.log_runtimes - result.target_offset
+            ) / result.target_std
+            pred = model.forward(sample.prepared)
+            err = pred - target
+            loss = float(np.mean(err ** 2))
+            epoch_loss += loss
+            # d(MSE)/d(pred) = 2 * err / n_outputs
+            model.zero_grad()
+            model.backward(2.0 * err / err.size)
+            optimizer.step()
+        mean_loss = epoch_loss / len(samples)
+        result.losses.append(mean_loss)
+        if config.log_every and (epoch + 1) % config.log_every == 0:
+            print(f"epoch {epoch + 1:4d}  loss {mean_loss:.5f}")
+    return result
+
+
+@dataclass
+class EvalResult:
+    """Per-sample relative errors and aggregate accuracy."""
+
+    per_sample_error: np.ndarray  # mean relative error over the 4 outputs
+    per_output_error: np.ndarray  # (n, 4) relative errors
+    predictions: np.ndarray  # (n, 4) predicted runtimes in seconds
+
+    @property
+    def mean_error(self) -> float:
+        """Average relative runtime error (the paper reports 13% / 5%)."""
+        return float(self.per_sample_error.mean())
+
+    @property
+    def accuracy(self) -> float:
+        """``100% - mean error`` (the paper's 87% headline)."""
+        return 100.0 * (1.0 - self.mean_error)
+
+    def error_histogram(self, bins: Sequence[float]) -> Dict[str, int]:
+        """Histogram of per-sample errors (Figure 5's presentation)."""
+        edges = list(bins)
+        counts, _ = np.histogram(self.per_sample_error, bins=edges)
+        labels = [
+            f"{100 * lo:.0f}-{100 * hi:.0f}%" for lo, hi in zip(edges, edges[1:])
+        ]
+        return dict(zip(labels, counts.tolist()))
+
+
+def evaluate(
+    model: RuntimeGCN,
+    samples: Sequence[RuntimeSample],
+    target_offset: Optional[np.ndarray] = None,
+    target_std: Optional[np.ndarray] = None,
+) -> EvalResult:
+    """Relative-error evaluation on linear-scale runtimes."""
+    if not samples:
+        raise ValueError("no evaluation samples")
+    offset = target_offset if target_offset is not None else np.zeros(4)
+    std = target_std if target_std is not None else np.ones(4)
+    preds = []
+    errors = []
+    for sample in samples:
+        pred_log = model.forward(sample.prepared) * std + offset
+        pred = np.exp(pred_log)
+        rel = np.abs(pred - sample.runtimes) / sample.runtimes
+        preds.append(pred)
+        errors.append(rel)
+    per_output = np.stack(errors)
+    return EvalResult(
+        per_sample_error=per_output.mean(axis=1),
+        per_output_error=per_output,
+        predictions=np.stack(preds),
+    )

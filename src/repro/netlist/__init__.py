@@ -1,0 +1,52 @@
+"""Circuit representations: AIGs, cell libraries, netlists, graphs, benchmarks.
+
+This subpackage is the design substrate everything else operates on:
+
+* :mod:`repro.netlist.aig` — And-Inverter Graphs (synthesis IR).
+* :mod:`repro.netlist.cells` — liberty-lite standard-cell library.
+* :mod:`repro.netlist.netlist` — gate-level netlists.
+* :mod:`repro.netlist.stargraph` — design-to-graph conversion for the GCN.
+* :mod:`repro.netlist.generators` — parametric circuit generators.
+* :mod:`repro.netlist.benchmarks` — the named benchmark suite.
+* :mod:`repro.netlist.verilog` — structural Verilog I/O.
+"""
+
+from .aig import AIG, AIGStats, CONST_FALSE, CONST_TRUE, lit, lit_node, lit_not
+from .cells import Cell, Library, nangate_lite
+from .netlist import Instance, Net, Netlist, NetlistError, NetlistStats
+from .stargraph import (
+    AIG_FEATURE_DIM,
+    NETLIST_FEATURE_DIM,
+    GraphSample,
+    aig_to_graph,
+    netlist_to_clique_graph,
+    netlist_to_star_graph,
+)
+from . import benchmarks, generators, verilog
+
+__all__ = [
+    "AIG",
+    "AIGStats",
+    "CONST_FALSE",
+    "CONST_TRUE",
+    "lit",
+    "lit_node",
+    "lit_not",
+    "Cell",
+    "Library",
+    "nangate_lite",
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "NetlistStats",
+    "GraphSample",
+    "AIG_FEATURE_DIM",
+    "NETLIST_FEATURE_DIM",
+    "aig_to_graph",
+    "netlist_to_star_graph",
+    "netlist_to_clique_graph",
+    "benchmarks",
+    "generators",
+    "verilog",
+]

@@ -1,0 +1,421 @@
+"""And-Inverter Graph (AIG) data structure.
+
+The AIG is the intermediate representation used by logic synthesis.  The
+paper's runtime-prediction model for the *synthesis* stage operates directly
+on the AIG of the input design (Section III-B, "Processing Input Design"),
+because synthesis tools map RTL into an AIG before technology mapping.
+
+Representation
+--------------
+Nodes are integers.  Node ``0`` is the constant-FALSE node.  Primary inputs
+and AND nodes share the same id space.  Edges carry an optional complement
+(inversion) attribute, so an edge is referred to by a *literal*::
+
+    literal = 2 * node + complemented
+
+This is the classic AIGER encoding: literal ``0`` is constant FALSE,
+literal ``1`` is constant TRUE, literal ``2*k`` is node ``k``, and literal
+``2*k + 1`` is the complement of node ``k``.
+
+AND nodes are created through :meth:`AIG.add_and`, which performs constant
+propagation, trivial simplification and structural hashing, so the graph
+never contains two AND nodes with the same (ordered) fanin literals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AIG",
+    "AIGStats",
+    "lit",
+    "lit_node",
+    "lit_is_complemented",
+    "lit_not",
+    "lit_regular",
+    "CONST_FALSE",
+    "CONST_TRUE",
+]
+
+#: Literal of the constant-FALSE function.
+CONST_FALSE = 0
+#: Literal of the constant-TRUE function.
+CONST_TRUE = 1
+
+
+def lit(node: int, complemented: bool = False) -> int:
+    """Build a literal from a node id and a complement flag."""
+    return 2 * node + (1 if complemented else 0)
+
+
+def lit_node(literal: int) -> int:
+    """Return the node id a literal refers to."""
+    return literal >> 1
+
+
+def lit_is_complemented(literal: int) -> bool:
+    """Return ``True`` when the literal carries an inversion."""
+    return bool(literal & 1)
+
+
+def lit_not(literal: int) -> int:
+    """Return the complement of a literal."""
+    return literal ^ 1
+
+
+def lit_regular(literal: int) -> int:
+    """Return the non-complemented version of a literal."""
+    return literal & ~1
+
+
+@dataclass(frozen=True)
+class AIGStats:
+    """Summary statistics of an AIG.
+
+    These are the raw structural quantities that drive both the synthesis
+    engine's work model and the graph features fed to the GCN predictor.
+    """
+
+    num_inputs: int
+    num_outputs: int
+    num_ands: int
+    depth: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the constant node."""
+        return 1 + self.num_inputs + self.num_ands
+
+
+class AIG:
+    """A combinational And-Inverter Graph with structural hashing.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable design name (e.g. ``"adder_32"``).
+
+    Notes
+    -----
+    Nodes are appended in topological order by construction: an AND node can
+    only be created after both of its fanins exist.  Many algorithms exploit
+    this by simply iterating over ``range(1, aig.size)``.
+    """
+
+    def __init__(self, name: str = "aig"):
+        self.name = name
+        # fanins[i] is None for PIs and the constant node, else (lit0, lit1)
+        self._fanins: List[Optional[Tuple[int, int]]] = [None]  # node 0 = const
+        self._is_input: List[bool] = [False]
+        self._inputs: List[int] = []
+        self._input_names: List[str] = []
+        self._outputs: List[int] = []  # literals
+        self._output_names: List[str] = []
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Create a primary input and return its (non-complemented) literal."""
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._is_input.append(True)
+        self._inputs.append(node)
+        self._input_names.append(name if name is not None else f"pi{len(self._inputs) - 1}")
+        return lit(node)
+
+    def add_and(self, a: int, b: int) -> int:
+        """Create (or reuse) an AND node over two literals; return its literal.
+
+        Applies constant propagation (``x & 0 = 0``, ``x & 1 = x``), trivial
+        rules (``x & x = x``, ``x & ~x = 0``) and structural hashing.
+        """
+        self._check_literal(a)
+        self._check_literal(b)
+        if a > b:
+            a, b = b, a
+        if a == CONST_FALSE:
+            return CONST_FALSE
+        if a == CONST_TRUE:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return CONST_FALSE
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return lit(existing)
+        node = len(self._fanins)
+        self._fanins.append(key)
+        self._is_input.append(False)
+        self._strash[key] = node
+        return lit(node)
+
+    def add_or(self, a: int, b: int) -> int:
+        """Create an OR as a complemented AND of complements."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """Create an XOR from three AND nodes."""
+        return self.add_or(self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b))
+
+    def add_xnor(self, a: int, b: int) -> int:
+        """Create the complement of XOR."""
+        return lit_not(self.add_xor(a, b))
+
+    def add_mux(self, sel: int, a: int, b: int) -> int:
+        """Create ``sel ? a : b``."""
+        return self.add_or(self.add_and(sel, a), self.add_and(lit_not(sel), b))
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """Create the majority function of three literals."""
+        return self.add_or(
+            self.add_and(a, b), self.add_or(self.add_and(a, c), self.add_and(b, c))
+        )
+
+    def add_output(self, literal: int, name: Optional[str] = None) -> int:
+        """Mark a literal as a primary output; return its output index."""
+        self._check_literal(literal)
+        self._outputs.append(literal)
+        self._output_names.append(
+            name if name is not None else f"po{len(self._outputs) - 1}"
+        )
+        return len(self._outputs) - 1
+
+    def _check_literal(self, literal: int) -> None:
+        if literal < 0 or lit_node(literal) >= len(self._fanins):
+            raise ValueError(f"literal {literal} refers to an unknown node")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total node count, including the constant node and inputs."""
+        return len(self._fanins)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self._outputs)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._fanins) - 1 - len(self._inputs)
+
+    @property
+    def inputs(self) -> List[int]:
+        """Node ids of the primary inputs, in creation order."""
+        return list(self._inputs)
+
+    @property
+    def input_names(self) -> List[str]:
+        return list(self._input_names)
+
+    @property
+    def outputs(self) -> List[int]:
+        """Output literals, in creation order."""
+        return list(self._outputs)
+
+    @property
+    def output_names(self) -> List[str]:
+        return list(self._output_names)
+
+    def is_input(self, node: int) -> bool:
+        return self._is_input[node]
+
+    def is_and(self, node: int) -> bool:
+        return node > 0 and not self._is_input[node]
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """Return the two fanin literals of an AND node."""
+        pair = self._fanins[node]
+        if pair is None:
+            raise ValueError(f"node {node} is not an AND node")
+        return pair
+
+    def and_nodes(self) -> Iterator[int]:
+        """Iterate over AND node ids in topological order."""
+        for node in range(1, len(self._fanins)):
+            if not self._is_input[node]:
+                yield node
+
+    def edges(self) -> Iterator[Tuple[int, int, bool]]:
+        """Iterate over ``(src_node, dst_node, complemented)`` edges."""
+        for node in self.and_nodes():
+            a, b = self._fanins[node]  # type: ignore[misc]
+            yield lit_node(a), node, lit_is_complemented(a)
+            yield lit_node(b), node, lit_is_complemented(b)
+
+    def fanout_counts(self) -> List[int]:
+        """Return the fanout count of every node (output refs included)."""
+        counts = [0] * self.size
+        for node in self.and_nodes():
+            a, b = self._fanins[node]  # type: ignore[misc]
+            counts[lit_node(a)] += 1
+            counts[lit_node(b)] += 1
+        for out in self._outputs:
+            counts[lit_node(out)] += 1
+        return counts
+
+    def levels(self) -> List[int]:
+        """Return the logic level of every node (inputs are level 0)."""
+        level = [0] * self.size
+        for node in self.and_nodes():
+            a, b = self._fanins[node]  # type: ignore[misc]
+            level[node] = 1 + max(level[lit_node(a)], level[lit_node(b)])
+        return level
+
+    def depth(self) -> int:
+        """Return the depth of the AIG (longest input-to-output path)."""
+        if self.num_outputs == 0:
+            return 0
+        level = self.levels()
+        return max(level[lit_node(out)] for out in self._outputs)
+
+    def stats(self) -> AIGStats:
+        """Return structural summary statistics."""
+        return AIGStats(
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            num_ands=self.num_ands,
+            depth=self.depth(),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, input_words: Sequence[int], width: int = 64) -> List[int]:
+        """Bit-parallel simulation.
+
+        Parameters
+        ----------
+        input_words:
+            One integer per primary input; bit ``i`` of each word is the value
+            of that input in simulation pattern ``i``.
+        width:
+            Number of patterns packed into each word.
+
+        Returns
+        -------
+        list of int
+            One word per primary output.
+        """
+        if len(input_words) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} input words, got {len(input_words)}"
+            )
+        mask = (1 << width) - 1
+        values = [0] * self.size
+        for node, word in zip(self._inputs, input_words):
+            values[node] = word & mask
+        for node in self.and_nodes():
+            a, b = self._fanins[node]  # type: ignore[misc]
+            va = values[lit_node(a)] ^ (mask if lit_is_complemented(a) else 0)
+            vb = values[lit_node(b)] ^ (mask if lit_is_complemented(b) else 0)
+            values[node] = va & vb
+        result = []
+        for out in self._outputs:
+            v = values[lit_node(out)]
+            if lit_is_complemented(out):
+                v ^= mask
+            result.append(v & mask)
+        return result
+
+    def simulate_pattern(self, bits: Sequence[bool]) -> List[bool]:
+        """Simulate a single input pattern of booleans."""
+        words = [1 if b else 0 for b in bits]
+        return [bool(w & 1) for w in self.simulate(words, width=1)]
+
+    def random_simulation_signature(
+        self, patterns: int = 64, seed: int = 0
+    ) -> List[int]:
+        """Return per-output signatures under random stimulus.
+
+        Used as a cheap equivalence fingerprint in synthesis tests: two AIGs
+        implementing the same function have identical signatures for the same
+        seed.
+        """
+        rng = random.Random(seed)
+        words = [rng.getrandbits(patterns) for _ in range(self.num_inputs)]
+        return self.simulate(words, width=patterns)
+
+    # ------------------------------------------------------------------
+    # Transformation helpers
+    # ------------------------------------------------------------------
+    def cleanup(self) -> "AIG":
+        """Return a copy without dangling nodes (unreachable from outputs)."""
+        reachable = set()
+        stack = [lit_node(out) for out in self._outputs]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            pair = self._fanins[node]
+            if pair is not None:
+                stack.append(lit_node(pair[0]))
+                stack.append(lit_node(pair[1]))
+        new = AIG(self.name)
+        mapping: Dict[int, int] = {0: CONST_FALSE}
+        for node, name in zip(self._inputs, self._input_names):
+            # All inputs are kept so the interface is stable.
+            mapping[node] = new.add_input(name)
+        for node in self.and_nodes():
+            if node not in reachable:
+                continue
+            a, b = self._fanins[node]  # type: ignore[misc]
+            na = mapping[lit_node(a)] ^ (1 if lit_is_complemented(a) else 0)
+            nb = mapping[lit_node(b)] ^ (1 if lit_is_complemented(b) else 0)
+            mapping[node] = new.add_and(na, nb)
+        for out, name in zip(self._outputs, self._output_names):
+            mapped = mapping[lit_node(out)] ^ (1 if lit_is_complemented(out) else 0)
+            new.add_output(mapped, name)
+        return new
+
+    def copy(self) -> "AIG":
+        """Return a deep copy of this AIG."""
+        new = AIG(self.name)
+        new._fanins = list(self._fanins)
+        new._is_input = list(self._is_input)
+        new._inputs = list(self._inputs)
+        new._input_names = list(self._input_names)
+        new._outputs = list(self._outputs)
+        new._output_names = list(self._output_names)
+        new._strash = dict(self._strash)
+        return new
+
+    def transitive_fanin_cone(self, root_literal: int) -> List[int]:
+        """Return node ids in the transitive fanin of a literal (topological)."""
+        seen = set()
+        order: List[int] = []
+
+        stack = [(lit_node(root_literal), False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            pair = self._fanins[node]
+            if pair is not None:
+                stack.append((lit_node(pair[0]), False))
+                stack.append((lit_node(pair[1]), False))
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AIG(name={self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, ands={self.num_ands}, depth={self.depth()})"
+        )

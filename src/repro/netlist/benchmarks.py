@@ -1,0 +1,207 @@
+"""Named benchmark suite.
+
+Mirrors the paper's dataset composition: 18 designs from the EPFL
+combinational suite and OpenCores (Section IV, "Dataset"), plus the
+OpenPiton designs used in the characterization experiments (Figures 2-3 and
+Table I).  Every entry maps to a parametric generator from
+:mod:`repro.netlist.generators`; the ``scale`` knob grows or shrinks the
+design while keeping its structural character.
+
+Usage::
+
+    from repro.netlist import benchmarks
+    aig = benchmarks.build("multiplier")          # default size
+    big = benchmarks.build("sparc_core", scale=2) # larger proxy
+    for name in benchmarks.dataset_names():       # the 18 dataset designs
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .aig import AIG
+from . import generators as g
+
+__all__ = [
+    "build",
+    "dataset_names",
+    "characterization_names",
+    "all_names",
+    "BenchmarkInfo",
+    "info",
+]
+
+
+class BenchmarkInfo:
+    """Metadata for one named benchmark."""
+
+    def __init__(self, name: str, kind: str, builder: Callable[[float], AIG], note: str):
+        self.name = name
+        self.kind = kind  # "arithmetic" | "control" | "openpiton"
+        self.builder = builder
+        self.note = note
+
+    def build(self, scale: float = 1.0) -> AIG:
+        aig = self.builder(scale)
+        aig.name = self.name if scale == 1.0 else f"{self.name}_s{scale:g}"
+        return aig
+
+
+def _scaled(base: int, scale: float, lo: int = 2) -> int:
+    return max(lo, int(round(base * scale)))
+
+
+_REGISTRY: Dict[str, BenchmarkInfo] = {}
+
+
+def _register(name: str, kind: str, note: str):
+    def wrap(fn: Callable[[float], AIG]) -> Callable[[float], AIG]:
+        _REGISTRY[name] = BenchmarkInfo(name, kind, fn, note)
+        return fn
+
+    return wrap
+
+
+# --- EPFL-style arithmetic designs -----------------------------------
+@_register("adder", "arithmetic", "ripple-carry adder (EPFL 'adder')")
+def _adder(scale: float) -> AIG:
+    return g.ripple_adder(width=_scaled(48, scale, lo=4))
+
+
+@_register("bar", "arithmetic", "barrel shifter (EPFL 'bar')")
+def _bar(scale: float) -> AIG:
+    return g.barrel_shifter(width=_scaled(48, scale, lo=4))
+
+
+@_register("div", "arithmetic", "restoring divider (EPFL 'div')")
+def _div(scale: float) -> AIG:
+    return g.divider(width=_scaled(10, scale, lo=4))
+
+
+@_register("log2", "arithmetic", "leading-one log2 approximation (EPFL 'log2')")
+def _log2(scale: float) -> AIG:
+    return g.log2_approx(width=_scaled(40, scale, lo=8))
+
+
+@_register("max", "arithmetic", "4-operand maximum (EPFL 'max')")
+def _max(scale: float) -> AIG:
+    return g.max_unit(width=_scaled(32, scale, lo=4), operands=4)
+
+
+@_register("multiplier", "arithmetic", "array multiplier (EPFL 'multiplier')")
+def _multiplier(scale: float) -> AIG:
+    return g.multiplier(width=_scaled(14, scale, lo=4))
+
+
+@_register("sin", "arithmetic", "fixed-point polynomial (EPFL 'sin')")
+def _sin(scale: float) -> AIG:
+    return g.sin_approx(width=_scaled(12, scale, lo=6), terms=3)
+
+
+@_register("square", "arithmetic", "squarer (EPFL 'square')")
+def _square(scale: float) -> AIG:
+    return g.square(width=_scaled(13, scale, lo=4))
+
+
+# --- EPFL-style / OpenCores control designs --------------------------
+@_register("arbiter", "control", "masked priority arbiter (EPFL 'arbiter')")
+def _arbiter(scale: float) -> AIG:
+    return g.arbiter(width=_scaled(48, scale, lo=4))
+
+
+@_register("priority", "control", "priority encoder (EPFL 'priority')")
+def _priority(scale: float) -> AIG:
+    return g.priority_encoder(width=_scaled(96, scale, lo=8))
+
+
+@_register("dec", "control", "binary decoder (EPFL 'dec')")
+def _dec(scale: float) -> AIG:
+    return g.decoder(bits=_scaled(6, scale, lo=3))
+
+
+@_register("router", "control", "crossbar router (EPFL 'router')")
+def _router(scale: float) -> AIG:
+    return g.crossbar_router(ports=4, width=_scaled(10, scale, lo=4))
+
+
+@_register("voter", "control", "majority voter (EPFL 'voter')")
+def _voter(scale: float) -> AIG:
+    return g.voter(inputs=_scaled(31, scale, lo=5))
+
+
+@_register("int2float", "control", "int-to-float converter (EPFL 'int2float')")
+def _int2float(scale: float) -> AIG:
+    return g.int2float(width=_scaled(24, scale, lo=8), mantissa=8)
+
+
+@_register("ctrl", "control", "random control cloud (EPFL 'ctrl')")
+def _ctrl(scale: float) -> AIG:
+    return g.random_control("ctrl", 24, _scaled(260, scale, lo=40), seed=2)
+
+
+@_register("cavlc", "control", "coder control cloud (EPFL 'cavlc')")
+def _cavlc(scale: float) -> AIG:
+    return g.random_control("cavlc", 20, _scaled(420, scale, lo=60), seed=9)
+
+
+@_register("i2c", "control", "bus controller cloud (OpenCores 'i2c')")
+def _i2c(scale: float) -> AIG:
+    return g.random_control("i2c", 28, _scaled(600, scale, lo=80), seed=4)
+
+
+@_register("mem_ctrl", "control", "memory controller cloud (OpenCores 'mem_ctrl')")
+def _mem_ctrl(scale: float) -> AIG:
+    return g.random_control("mem_ctrl", 48, _scaled(2400, scale, lo=200), seed=6)
+
+
+# --- OpenPiton designs (characterization / Figure 3) ------------------
+@_register("dynamic_node", "openpiton", "NoC router node (smallest, Fig. 3)")
+def _dynamic_node(scale: float) -> AIG:
+    return g.dynamic_node_proxy(scale=scale)
+
+
+@_register("aes", "openpiton", "AES round proxy (small, Fig. 3)")
+def _aes(scale: float) -> AIG:
+    return g.aes_proxy(scale=scale)
+
+
+@_register("fpu", "openpiton", "floating-point unit proxy (medium, Fig. 3)")
+def _fpu(scale: float) -> AIG:
+    return g.fpu_proxy(scale=scale)
+
+
+@_register("sparc_core", "openpiton", "SPARC core proxy (largest, Figs. 2-3, Table I)")
+def _sparc_core(scale: float) -> AIG:
+    return g.sparc_core_proxy(scale=scale)
+
+
+# ----------------------------------------------------------------------
+def build(name: str, scale: float = 1.0) -> AIG:
+    """Build a named benchmark at the requested scale."""
+    try:
+        return _REGISTRY[name].build(scale)
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(all_names())}"
+        ) from None
+
+
+def info(name: str) -> BenchmarkInfo:
+    """Return metadata for a named benchmark."""
+    return _REGISTRY[name]
+
+
+def all_names() -> List[str]:
+    """All registered benchmark names."""
+    return sorted(_REGISTRY)
+
+
+def dataset_names() -> List[str]:
+    """The 18 designs forming the GCN training dataset (paper Section IV)."""
+    return sorted(n for n, b in _REGISTRY.items() if b.kind in ("arithmetic", "control"))
+
+
+def characterization_names() -> List[str]:
+    """The OpenPiton designs used for characterization (Figures 2-3)."""
+    return sorted(n for n, b in _REGISTRY.items() if b.kind == "openpiton")

@@ -1,0 +1,316 @@
+"""Liberty-lite standard-cell library.
+
+The paper characterizes a commercial flow on a GlobalFoundries 14nm library.
+We substitute a small open "liberty-lite" library that carries exactly the
+attributes our engines need:
+
+* a boolean *function* per cell (as a truth table) so the technology mapper
+  can match AIG cuts onto cells,
+* *area* so placement has real footprints,
+* pin *capacitances* and a linear *delay model* (intrinsic + slope x load)
+  so STA computes genuine arrival times, and
+* an ``is_sequential`` marker reserved for future sequential support.
+
+Truth-table convention
+----------------------
+For a cell with inputs ``(i0, i1, ..., i{n-1})`` (in declared order), bit
+``k`` of the truth table is the output value when input ``ij`` equals bit
+``j`` of ``k``.  Example: ``AND2`` over ``(A, B)`` has truth table ``0b1000``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Cell",
+    "Library",
+    "nangate_lite",
+    "truth_table_ones",
+    "permute_truth_table",
+    "negate_truth_table",
+]
+
+
+def truth_table_ones(table: int, num_inputs: int) -> int:
+    """Count the minterms of a truth table over ``num_inputs`` variables."""
+    mask = (1 << (1 << num_inputs)) - 1
+    return bin(table & mask).count("1")
+
+
+def negate_truth_table(table: int, num_inputs: int) -> int:
+    """Complement a truth table over ``num_inputs`` variables."""
+    mask = (1 << (1 << num_inputs)) - 1
+    return (~table) & mask
+
+
+def permute_truth_table(table: int, num_inputs: int, perm: Sequence[int]) -> int:
+    """Apply an input permutation to a truth table.
+
+    ``perm[j]`` gives the new position of original input ``j``; the returned
+    table ``g`` satisfies ``g(x_perm) = f(x)``.
+    """
+    size = 1 << num_inputs
+    out = 0
+    for minterm in range(size):
+        if not (table >> minterm) & 1:
+            continue
+        permuted = 0
+        for j in range(num_inputs):
+            if (minterm >> j) & 1:
+                permuted |= 1 << perm[j]
+        out |= 1 << permuted
+    return out
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2_X1"``.
+    inputs:
+        Ordered input pin names.
+    output:
+        Output pin name.
+    function:
+        Truth table over the declared input order (see module docstring).
+    area:
+        Cell area in square micrometres.
+    input_cap:
+        Capacitance of each input pin, in femtofarads.
+    intrinsic_delay:
+        Load-independent delay component, in picoseconds.
+    load_slope:
+        Delay added per femtofarad of output load, in ps/fF.
+    leakage:
+        Leakage power in nanowatts (used only for reporting).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    function: int
+    area: float
+    input_cap: float
+    intrinsic_delay: float
+    load_slope: float
+    leakage: float = 1.0
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, values: Sequence[bool]) -> bool:
+        """Evaluate the cell function on concrete input values."""
+        if len(values) != self.num_inputs:
+            raise ValueError(
+                f"{self.name} expects {self.num_inputs} inputs, got {len(values)}"
+            )
+        index = 0
+        for j, v in enumerate(values):
+            if v:
+                index |= 1 << j
+        return bool((self.function >> index) & 1)
+
+    def delay(self, load_fF: float) -> float:
+        """Pin-to-pin delay in picoseconds under a given output load."""
+        return self.intrinsic_delay + self.load_slope * max(load_fF, 0.0)
+
+
+class Library:
+    """A collection of cells with function-matching support for mapping.
+
+    Parameters
+    ----------
+    name:
+        Library name.
+    cells:
+        The cells in the library.
+    wire_cap_per_um:
+        Estimated wire capacitance per micron, used by STA to turn placement
+        wirelength into load (fF/um).
+    """
+
+    def __init__(self, name: str, cells: Iterable[Cell], wire_cap_per_um: float = 0.2):
+        self.name = name
+        self.wire_cap_per_um = wire_cap_per_um
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate cell name {cell.name!r}")
+            self._cells[cell.name] = cell
+        # (num_inputs, truth_table) -> list of (cell, perm, output_inverted)
+        self._match_index: Dict[Tuple[int, int], List[Tuple[Cell, Tuple[int, ...], bool]]] = {}
+        self._build_match_index()
+
+    def _build_match_index(self) -> None:
+        for cell in self._cells.values():
+            n = cell.num_inputs
+            if n > 4:
+                continue
+            for perm in itertools.permutations(range(n)):
+                table = permute_truth_table(cell.function, n, perm)
+                for inverted in (False, True):
+                    key_table = negate_truth_table(table, n) if inverted else table
+                    key = (n, key_table)
+                    entry = (cell, perm, inverted)
+                    bucket = self._match_index.setdefault(key, [])
+                    if entry not in bucket:
+                        bucket.append(entry)
+
+    # ------------------------------------------------------------------
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name, raising ``KeyError`` if absent."""
+        return self._cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cell_names(self) -> List[str]:
+        return sorted(self._cells)
+
+    def matches(
+        self, function: int, num_inputs: int
+    ) -> List[Tuple[Cell, Tuple[int, ...], bool]]:
+        """Find cells implementing a truth table.
+
+        Returns a list of ``(cell, perm, output_inverted)``: connecting cell
+        input pin ``j`` to the function's variable ``perm[j]`` implements
+        ``function`` (its complement when ``output_inverted``).
+        """
+        return list(self._match_index.get((num_inputs, function), []))
+
+    def best_match(
+        self, function: int, num_inputs: int
+    ) -> Optional[Tuple[Cell, Tuple[int, ...], bool]]:
+        """Return the smallest-area match for a truth table, if any.
+
+        Non-inverted matches win ties so the mapper does not add needless
+        output inversions.
+        """
+        candidates = self.matches(function, num_inputs)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: (m[0].area, m[2], m[0].name))
+
+
+def _cell(
+    name: str,
+    inputs: Sequence[str],
+    function: int,
+    area: float,
+    cap: float,
+    intrinsic: float,
+    slope: float,
+    leakage: float = 1.0,
+) -> Cell:
+    return Cell(
+        name=name,
+        inputs=tuple(inputs),
+        output="Y",
+        function=function,
+        area=area,
+        input_cap=cap,
+        intrinsic_delay=intrinsic,
+        load_slope=slope,
+        leakage=leakage,
+    )
+
+
+def nangate_lite() -> Library:
+    """Build the default library used across the reproduction.
+
+    Areas and delays are loosely modelled on a 15nm open cell library; only
+    their *relative* magnitudes matter for the experiments.
+    """
+    # Truth tables follow the module-level bit convention.
+    tt_inv = 0b01
+    tt_buf = 0b10
+    tt_and2 = 0b1000
+    tt_nand2 = 0b0111
+    tt_or2 = 0b1110
+    tt_nor2 = 0b0001
+    tt_xor2 = 0b0110
+    tt_xnor2 = 0b1001
+    # 3-input tables over (A, B, C): index bit0=A, bit1=B, bit2=C.
+    tt_nand3 = negate_truth_table(0b10000000, 3)
+    tt_nor3 = 0b00000001
+    tt_and3 = 0b10000000
+    tt_or3 = 0b11111110
+    tt_maj3 = 0b11101000
+    # MUX2 over (A, B, S): Y = S ? B : A.
+    tt_mux2 = 0
+    for a in range(2):
+        for b in range(2):
+            for s in range(2):
+                idx = a | (b << 1) | (s << 2)
+                y = b if s else a
+                tt_mux2 |= y << idx
+    # AOI21 over (A, B, C): Y = ~((A & B) | C)
+    tt_aoi21 = 0
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                idx = a | (b << 1) | (c << 2)
+                y = 0 if ((a and b) or c) else 1
+                tt_aoi21 |= y << idx
+    # OAI21 over (A, B, C): Y = ~((A | B) & C)
+    tt_oai21 = 0
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                idx = a | (b << 1) | (c << 2)
+                y = 0 if ((a or b) and c) else 1
+                tt_oai21 |= y << idx
+    # AOI22 over (A, B, C, D): Y = ~((A & B) | (C & D))
+    tt_aoi22 = 0
+    tt_oai22 = 0
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                for d in range(2):
+                    idx = a | (b << 1) | (c << 2) | (d << 3)
+                    tt_aoi22 |= (0 if ((a and b) or (c and d)) else 1) << idx
+                    tt_oai22 |= (0 if ((a or b) and (c or d)) else 1) << idx
+    # XOR3 over (A, B, C) — the sum function of a full adder.
+    tt_xor3 = 0
+    for a in range(2):
+        for b in range(2):
+            for c in range(2):
+                idx = a | (b << 1) | (c << 2)
+                tt_xor3 |= ((a ^ b ^ c) & 1) << idx
+
+    cells = [
+        _cell("INV_X1", ["A"], tt_inv, area=0.5, cap=1.0, intrinsic=8.0, slope=3.0),
+        _cell("BUF_X1", ["A"], tt_buf, area=0.7, cap=1.0, intrinsic=14.0, slope=2.0),
+        _cell("NAND2_X1", ["A", "B"], tt_nand2, area=0.8, cap=1.1, intrinsic=10.0, slope=3.2),
+        _cell("NOR2_X1", ["A", "B"], tt_nor2, area=0.8, cap=1.1, intrinsic=12.0, slope=3.6),
+        _cell("AND2_X1", ["A", "B"], tt_and2, area=1.0, cap=1.1, intrinsic=16.0, slope=2.8),
+        _cell("OR2_X1", ["A", "B"], tt_or2, area=1.0, cap=1.1, intrinsic=17.0, slope=2.9),
+        _cell("XOR2_X1", ["A", "B"], tt_xor2, area=1.6, cap=1.5, intrinsic=22.0, slope=3.4),
+        _cell("XNOR2_X1", ["A", "B"], tt_xnor2, area=1.6, cap=1.5, intrinsic=22.0, slope=3.4),
+        _cell("NAND3_X1", ["A", "B", "C"], tt_nand3, area=1.1, cap=1.2, intrinsic=14.0, slope=3.5),
+        _cell("NOR3_X1", ["A", "B", "C"], tt_nor3, area=1.1, cap=1.2, intrinsic=16.0, slope=4.0),
+        _cell("AND3_X1", ["A", "B", "C"], tt_and3, area=1.3, cap=1.2, intrinsic=19.0, slope=3.0),
+        _cell("OR3_X1", ["A", "B", "C"], tt_or3, area=1.3, cap=1.2, intrinsic=20.0, slope=3.1),
+        _cell("MAJ3_X1", ["A", "B", "C"], tt_maj3, area=2.0, cap=1.4, intrinsic=24.0, slope=3.3),
+        _cell("XOR3_X1", ["A", "B", "C"], tt_xor3, area=2.4, cap=1.6, intrinsic=28.0, slope=3.6),
+        _cell("MUX2_X1", ["A", "B", "S"], tt_mux2, area=1.8, cap=1.3, intrinsic=20.0, slope=3.2),
+        _cell("AOI21_X1", ["A", "B", "C"], tt_aoi21, area=1.2, cap=1.2, intrinsic=13.0, slope=3.8),
+        _cell("OAI21_X1", ["A", "B", "C"], tt_oai21, area=1.2, cap=1.2, intrinsic=13.0, slope=3.8),
+        _cell("AOI22_X1", ["A", "B", "C", "D"], tt_aoi22, area=1.5, cap=1.3, intrinsic=15.0, slope=4.0),
+        _cell("OAI22_X1", ["A", "B", "C", "D"], tt_oai22, area=1.5, cap=1.3, intrinsic=15.0, slope=4.0),
+    ]
+    return Library("nangate_lite", cells)

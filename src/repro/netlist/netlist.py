@@ -1,0 +1,318 @@
+"""Gate-level netlist.
+
+A :class:`Netlist` is the output of technology mapping and the input to
+placement, routing and STA — and, via the star-model conversion in
+:mod:`repro.netlist.stargraph`, to the GCN runtime predictor.
+
+The structure is deliberately explicit: named instances of library cells,
+named nets, and port lists.  Every net has exactly one driver (an input port
+or an instance output pin) and any number of sinks (instance input pins or
+output ports).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cells import Cell, Library
+
+__all__ = ["Instance", "Net", "Netlist", "NetlistStats", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist is malformed (floating nets, bad pins, ...)."""
+
+
+@dataclass
+class Instance:
+    """A placed-or-unplaced occurrence of a library cell.
+
+    ``pin_nets`` maps every pin name of the cell (inputs and output) to the
+    name of the net attached to it.
+    """
+
+    name: str
+    cell: Cell
+    pin_nets: Dict[str, str]
+
+    @property
+    def input_nets(self) -> List[str]:
+        """Nets attached to the cell's input pins, in pin order."""
+        return [self.pin_nets[pin] for pin in self.cell.inputs]
+
+    @property
+    def output_net(self) -> str:
+        """Net driven by the cell's output pin."""
+        return self.pin_nets[self.cell.output]
+
+
+@dataclass
+class Net:
+    """A signal with one driver and a list of sinks.
+
+    The driver is ``("__port__", port_name)`` for primary inputs, otherwise
+    ``(instance_name, pin_name)``.  Sinks use the same encoding with
+    ``("__port__", port_name)`` for primary outputs.
+    """
+
+    name: str
+    driver: Optional[Tuple[str, str]] = None
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Structural summary used by work models and reports."""
+
+    num_instances: int
+    num_nets: int
+    num_inputs: int
+    num_outputs: int
+    total_area: float
+    max_fanout: int
+    depth: int
+
+
+PORT = "__port__"
+
+
+class Netlist:
+    """A flat, combinational gate-level netlist over a :class:`Library`."""
+
+    def __init__(self, name: str, library: Library):
+        self.name = name
+        self.library = library
+        self.input_ports: List[str] = []
+        self.output_ports: List[str] = []
+        # Output port name -> net it observes.
+        self.output_port_nets: Dict[str, str] = {}
+        self.instances: Dict[str, Instance] = {}
+        self.nets: Dict[str, Net] = {}
+        self._topo_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input_port(self, name: str) -> str:
+        """Declare a primary input; creates the net it drives."""
+        if name in self.nets:
+            raise NetlistError(f"net {name!r} already exists")
+        self.input_ports.append(name)
+        net = self._get_or_create_net(name)
+        net.driver = (PORT, name)
+        self._topo_cache = None
+        return name
+
+    def add_output_port(self, name: str, net_name: str) -> str:
+        """Declare a primary output observing ``net_name``."""
+        net = self._get_or_create_net(net_name)
+        net.sinks.append((PORT, name))
+        self.output_ports.append(name)
+        self.output_port_nets[name] = net_name
+        self._topo_cache = None
+        return name
+
+    def add_instance(self, name: str, cell_name: str, pin_nets: Dict[str, str]) -> Instance:
+        """Instantiate a library cell and wire its pins to nets by name."""
+        if name in self.instances:
+            raise NetlistError(f"instance {name!r} already exists")
+        cell = self.library.cell(cell_name)
+        expected = set(cell.inputs) | {cell.output}
+        if set(pin_nets) != expected:
+            raise NetlistError(
+                f"instance {name!r}: pins {sorted(pin_nets)} do not match "
+                f"cell {cell_name!r} pins {sorted(expected)}"
+            )
+        inst = Instance(name=name, cell=cell, pin_nets=dict(pin_nets))
+        self.instances[name] = inst
+        for pin in cell.inputs:
+            self._get_or_create_net(pin_nets[pin]).sinks.append((name, pin))
+        out_net = self._get_or_create_net(pin_nets[cell.output])
+        if out_net.driver is not None:
+            raise NetlistError(
+                f"net {out_net.name!r} already driven by {out_net.driver}; "
+                f"cannot also drive from {name!r}"
+            )
+        out_net.driver = (name, cell.output)
+        self._topo_cache = None
+        return inst
+
+    def _get_or_create_net(self, name: str) -> Net:
+        net = self.nets.get(name)
+        if net is None:
+            net = Net(name=name)
+            self.nets[name] = net
+        return net
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def total_area(self) -> float:
+        """Sum of instance areas in square micrometres."""
+        return sum(inst.cell.area for inst in self.instances.values())
+
+    def driver_instance(self, net_name: str) -> Optional[str]:
+        """Name of the instance driving a net, or ``None`` for input ports."""
+        net = self.nets[net_name]
+        if net.driver is None:
+            raise NetlistError(f"net {net_name!r} has no driver")
+        owner, _pin = net.driver
+        return None if owner == PORT else owner
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`NetlistError` if broken."""
+        for net in self.nets.values():
+            if net.driver is None:
+                raise NetlistError(f"net {net.name!r} is undriven")
+        for name in self.output_ports:
+            if self.output_port_nets[name] not in self.nets:
+                raise NetlistError(f"output port {name!r} observes unknown net")
+        # Topological order existing implies acyclicity.
+        self.topological_order()
+
+    def topological_order(self) -> List[str]:
+        """Instance names in topological (driver-before-sink) order."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for name, inst in self.instances.items():
+            count = 0
+            for net_name in inst.input_nets:
+                driver = self.driver_instance(net_name)
+                if driver is not None:
+                    count += 1
+                    dependents.setdefault(driver, []).append(name)
+            indegree[name] = count
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for dep in dependents.get(name, ()):  # noqa: B905
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.instances):
+            raise NetlistError("netlist contains a combinational cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def levels(self) -> Dict[str, int]:
+        """Logic level per instance (instances fed only by ports are level 1)."""
+        level: Dict[str, int] = {}
+        for name in self.topological_order():
+            inst = self.instances[name]
+            best = 0
+            for net_name in inst.input_nets:
+                driver = self.driver_instance(net_name)
+                if driver is not None:
+                    best = max(best, level[driver])
+            level[name] = best + 1
+        return level
+
+    def depth(self) -> int:
+        """Longest instance chain from any input to any output."""
+        if not self.instances:
+            return 0
+        return max(self.levels().values())
+
+    def stats(self) -> NetlistStats:
+        """Return a structural summary of the design."""
+        max_fanout = max((net.fanout for net in self.nets.values()), default=0)
+        return NetlistStats(
+            num_instances=self.num_instances,
+            num_nets=self.num_nets,
+            num_inputs=len(self.input_ports),
+            num_outputs=len(self.output_ports),
+            total_area=self.total_area(),
+            max_fanout=max_fanout,
+            depth=self.depth(),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, input_words: Dict[str, int], width: int = 64) -> Dict[str, int]:
+        """Bit-parallel simulation compatible with :meth:`repro.netlist.aig.AIG.simulate`.
+
+        Parameters
+        ----------
+        input_words:
+            Map from input port name to a packed word of ``width`` patterns.
+
+        Returns
+        -------
+        dict
+            Map from output port name to its packed word of results.
+        """
+        missing = set(self.input_ports) - set(input_words)
+        if missing:
+            raise NetlistError(f"missing stimulus for inputs: {sorted(missing)}")
+        mask = (1 << width) - 1
+        values: Dict[str, int] = {
+            name: input_words[name] & mask for name in self.input_ports
+        }
+        for inst_name in self.topological_order():
+            inst = self.instances[inst_name]
+            cell = inst.cell
+            out = 0
+            # Evaluate the cell truth table bit-parallel: for every minterm
+            # with output 1, AND together the matching input polarities.
+            in_words = [values[net] for net in inst.input_nets]
+            for minterm in range(1 << cell.num_inputs):
+                if not (cell.function >> minterm) & 1:
+                    continue
+                term = mask
+                for j, word in enumerate(in_words):
+                    term &= word if (minterm >> j) & 1 else (~word & mask)
+                    if not term:
+                        break
+                out |= term
+            values[inst.output_net] = out
+        return {
+            port: values[self.output_port_nets[port]] & mask
+            for port in self.output_ports
+        }
+
+    def random_simulation_signature(
+        self, patterns: int = 64, seed: int = 0
+    ) -> List[int]:
+        """Per-output random-stimulus signatures, ordered like ``output_ports``.
+
+        Uses the same PRNG convention as the AIG so that a mapped netlist and
+        its source AIG produce comparable signatures when the port order
+        matches the AIG's input/output order.
+        """
+        rng = random.Random(seed)
+        words = {name: rng.getrandbits(patterns) for name in self.input_ports}
+        result = self.simulate(words, width=patterns)
+        return [result[p] for p in self.output_ports]
+
+    def fanout_histogram(self) -> Dict[int, int]:
+        """Map fanout -> number of nets with that fanout."""
+        hist: Dict[int, int] = {}
+        for net in self.nets.values():
+            hist[net.fanout] = hist.get(net.fanout, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist(name={self.name!r}, instances={self.num_instances}, "
+            f"nets={self.num_nets}, in={len(self.input_ports)}, "
+            f"out={len(self.output_ports)})"
+        )

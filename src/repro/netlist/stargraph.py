@@ -1,0 +1,240 @@
+"""Design-to-graph conversion for the GCN runtime predictor.
+
+Section III-B of the paper ("Processing Input Design"):
+
+* For **synthesis**, the model operates on the AIG — a DAG whose edge
+  directions are preserved for the GCN.
+* For **placement / routing / STA**, the input is a netlist; cells and I/O
+  pins become graph nodes and each net becomes a set of directed edges using
+  the *star model* — one edge from the driving cell (or input pin) towards
+  each sink (or output pin).
+
+Both converters return a :class:`GraphSample`: an edge list plus a node
+feature matrix, directly consumable by :mod:`repro.gnn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .aig import AIG, lit_is_complemented, lit_node
+from .netlist import PORT, Netlist
+
+__all__ = [
+    "GraphSample",
+    "aig_to_graph",
+    "netlist_to_star_graph",
+    "netlist_to_clique_graph",
+    "AIG_FEATURE_DIM",
+    "NETLIST_FEATURE_DIM",
+]
+
+#: Number of node features produced by :func:`aig_to_graph`.
+AIG_FEATURE_DIM = 8
+#: Number of node features produced by :func:`netlist_to_star_graph`.
+NETLIST_FEATURE_DIM = 12
+
+
+@dataclass
+class GraphSample:
+    """A graph ready for GCN consumption.
+
+    Attributes
+    ----------
+    name:
+        Design name the graph came from.
+    num_nodes:
+        Node count.
+    edges:
+        ``(E, 2)`` int array of directed ``src -> dst`` pairs.
+    features:
+        ``(N, F)`` float array of node features.
+    meta:
+        Free-form metadata (e.g. instance counts) used by reports.
+    """
+
+    name: str
+    num_nodes: int
+    edges: np.ndarray
+    features: np.ndarray
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"feature rows {self.features.shape[0]} != num_nodes {self.num_nodes}"
+            )
+        if self.edges.size and int(self.edges.max()) >= self.num_nodes:
+            raise ValueError("edge endpoint out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.features.shape[1])
+
+
+def aig_to_graph(aig: AIG) -> GraphSample:
+    """Convert an AIG to a directed graph with structural node features.
+
+    Node ``i`` of the sample is AIG node ``i`` (the constant node included,
+    so indices line up).  Features per node:
+
+    ``[is_const, is_pi, is_and, fanout/16, level/depth, inverted_fanins/2,
+    is_po_driver, 1]``
+    """
+    n = aig.size
+    fanout = aig.fanout_counts()
+    level = aig.levels()
+    depth = max(1, aig.depth())
+    po_drivers = {lit_node(out) for out in aig.outputs}
+    features = np.zeros((n, AIG_FEATURE_DIM), dtype=np.float64)
+    edges: List[Tuple[int, int]] = []
+    for node in range(n):
+        is_input = aig.is_input(node)
+        is_and = aig.is_and(node)
+        inverted = 0
+        if is_and:
+            a, b = aig.fanins(node)
+            edges.append((lit_node(a), node))
+            edges.append((lit_node(b), node))
+            inverted = int(lit_is_complemented(a)) + int(lit_is_complemented(b))
+        features[node] = [
+            1.0 if node == 0 else 0.0,
+            1.0 if is_input else 0.0,
+            1.0 if is_and else 0.0,
+            fanout[node] / 16.0,
+            level[node] / depth,
+            inverted / 2.0,
+            1.0 if node in po_drivers else 0.0,
+            1.0,
+        ]
+    return GraphSample(
+        name=aig.name,
+        num_nodes=n,
+        edges=np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        features=features,
+        meta={
+            "num_inputs": float(aig.num_inputs),
+            "num_outputs": float(aig.num_outputs),
+            "num_ands": float(aig.num_ands),
+            "depth": float(depth),
+        },
+    )
+
+
+def _netlist_node_index(netlist: Netlist) -> Dict[Tuple[str, str], int]:
+    """Assign node ids: input ports, then instances, then output ports."""
+    index: Dict[Tuple[str, str], int] = {}
+    for name in netlist.input_ports:
+        index[("in", name)] = len(index)
+    for name in netlist.instances:
+        index[("cell", name)] = len(index)
+    for name in netlist.output_ports:
+        index[("out", name)] = len(index)
+    return index
+
+
+def _netlist_features(netlist: Netlist, index: Dict[Tuple[str, str], int]) -> np.ndarray:
+    levels = netlist.levels()
+    depth = max(1, netlist.depth())
+    features = np.zeros((len(index), NETLIST_FEATURE_DIM), dtype=np.float64)
+    for (kind, name), node_id in index.items():
+        if kind == "in":
+            fanout = netlist.nets[name].fanout
+            features[node_id] = [1, 0, 0, 0, 0, 0, fanout / 16.0, 0, 0, 0, 0, 1]
+        elif kind == "out":
+            features[node_id] = [0, 1, 0, 0, 0, 0, 0, 1.0, 0, 0, 0, 1]
+        else:
+            inst = netlist.instances[name]
+            out_net = netlist.nets[inst.output_net]
+            cell = inst.cell
+            is_invlike = 1.0 if cell.num_inputs == 1 else 0.0
+            is_xorlike = 1.0 if "XOR" in cell.name or "XNOR" in cell.name else 0.0
+            is_muxlike = 1.0 if "MUX" in cell.name else 0.0
+            features[node_id] = [
+                0,
+                0,
+                1,
+                cell.area / 2.0,
+                cell.num_inputs / 4.0,
+                cell.intrinsic_delay / 30.0,
+                out_net.fanout / 16.0,
+                levels[name] / depth,
+                is_invlike,
+                is_xorlike,
+                is_muxlike,
+                1,
+            ]
+    return features
+
+
+def _net_edges(
+    netlist: Netlist, index: Dict[Tuple[str, str], int], star: bool
+) -> np.ndarray:
+    """Build directed edges from nets.
+
+    With ``star=True`` (the paper's model) each net contributes one edge from
+    its driver node to each sink node.  With ``star=False`` a clique model is
+    used instead (all endpoint pairs) — kept for the ablation study.
+    """
+    edges: List[Tuple[int, int]] = []
+    for net in netlist.nets.values():
+        if net.driver is None:
+            continue
+        owner, _pin = net.driver
+        src = index[("in", net.driver[1])] if owner == PORT else index[("cell", owner)]
+        dsts = []
+        for sink_owner, sink_pin in net.sinks:
+            if sink_owner == PORT:
+                dsts.append(index[("out", sink_pin)])
+            else:
+                dsts.append(index[("cell", sink_owner)])
+        if star:
+            edges.extend((src, d) for d in dsts)
+        else:
+            endpoints = [src] + dsts
+            for i, u in enumerate(endpoints):
+                for v in endpoints[i + 1 :]:
+                    edges.append((u, v))
+                    edges.append((v, u))
+    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+def netlist_to_star_graph(netlist: Netlist) -> GraphSample:
+    """Convert a netlist to the paper's star-model directed graph."""
+    index = _netlist_node_index(netlist)
+    return GraphSample(
+        name=netlist.name,
+        num_nodes=len(index),
+        edges=_net_edges(netlist, index, star=True),
+        features=_netlist_features(netlist, index),
+        meta={
+            "num_instances": float(netlist.num_instances),
+            "num_nets": float(netlist.num_nets),
+            "total_area": float(netlist.total_area()),
+            "depth": float(netlist.depth()),
+        },
+    )
+
+
+def netlist_to_clique_graph(netlist: Netlist) -> GraphSample:
+    """Clique-model alternative to the star conversion (ablation only)."""
+    index = _netlist_node_index(netlist)
+    return GraphSample(
+        name=netlist.name,
+        num_nodes=len(index),
+        edges=_net_edges(netlist, index, star=False),
+        features=_netlist_features(netlist, index),
+        meta={
+            "num_instances": float(netlist.num_instances),
+            "num_nets": float(netlist.num_nets),
+        },
+    )

@@ -1,0 +1,34 @@
+"""vCPU execution model: work profiles, task graphs, scheduling, speedups.
+
+Substitutes the paper's cgroups-based VM-size emulation: engines describe
+the work they performed, and this package converts that description into
+wall-clock runtimes at any vCPU count.
+"""
+
+from .scheduler import ScheduleResult, TaskGraphWorkload, list_schedule
+from .speedup import (
+    PAPER_VCPU_LEVELS,
+    SpeedupCurve,
+    amdahl_speedup,
+    fit_amdahl_fraction,
+    gustafson_speedup,
+    speedup_curve,
+)
+from .taskgraph import DEFAULT_SYNC_OVERHEAD, Section, Task, TaskGraph, WorkProfile
+
+__all__ = [
+    "ScheduleResult",
+    "TaskGraphWorkload",
+    "list_schedule",
+    "PAPER_VCPU_LEVELS",
+    "SpeedupCurve",
+    "amdahl_speedup",
+    "fit_amdahl_fraction",
+    "gustafson_speedup",
+    "speedup_curve",
+    "DEFAULT_SYNC_OVERHEAD",
+    "Section",
+    "Task",
+    "TaskGraph",
+    "WorkProfile",
+]

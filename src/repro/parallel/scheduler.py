@@ -1,0 +1,148 @@
+"""List scheduling of task graphs onto k workers.
+
+Implements the classic HLFET (highest level first with estimated times)
+list scheduler: ready tasks are dispatched by descending bottom level onto
+the earliest-available worker.  Greedy list scheduling is a 2-approximation
+of the optimal makespan, which is more than accurate enough for deriving
+runtime-vs-vCPU curves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .taskgraph import DEFAULT_SYNC_OVERHEAD, Section, TaskGraph
+
+__all__ = ["ScheduleResult", "list_schedule", "TaskGraphWorkload"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a task graph on a fixed worker count."""
+
+    makespan: float
+    workers: int
+    start_times: Dict[int, float] = field(default_factory=dict)
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    worker_of: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Busy time / (makespan * workers)."""
+        busy = sum(
+            self.finish_times[t] - self.start_times[t] for t in self.start_times
+        )
+        denom = self.makespan * self.workers
+        return busy / denom if denom > 0 else 0.0
+
+
+def list_schedule(graph: TaskGraph, workers: int) -> ScheduleResult:
+    """Schedule ``graph`` on ``workers`` identical workers (HLFET order)."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    tasks = graph.tasks
+    if not tasks:
+        return ScheduleResult(makespan=0.0, workers=workers)
+
+    levels = graph.bottom_levels()
+    children: Dict[int, List[int]] = {t.task_id: [] for t in tasks}
+    remaining_deps: Dict[int, int] = {}
+    dep_finish: Dict[int, float] = {t.task_id: 0.0 for t in tasks}
+    for task in tasks:
+        remaining_deps[task.task_id] = len(task.deps)
+        for d in task.deps:
+            children[d].append(task.task_id)
+
+    # Ready queue ordered by (-bottom_level, task_id) for determinism.
+    ready: List[Tuple[float, int]] = [
+        (-levels[t.task_id], t.task_id) for t in tasks if not t.deps
+    ]
+    heapq.heapify(ready)
+    # Workers as a min-heap of (available_time, worker_id).
+    worker_heap: List[Tuple[float, int]] = [(0.0, w) for w in range(workers)]
+
+    result = ScheduleResult(makespan=0.0, workers=workers)
+    task_by_id = {t.task_id: t for t in tasks}
+    scheduled = 0
+    # Tasks whose dependencies are done but whose data isn't ready until
+    # dep_finish — model by starting no earlier than that time.
+    while ready:
+        _neg_level, task_id = heapq.heappop(ready)
+        task = task_by_id[task_id]
+        avail, worker = heapq.heappop(worker_heap)
+        start = max(avail, dep_finish[task_id])
+        finish = start + task.work
+        result.start_times[task_id] = start
+        result.finish_times[task_id] = finish
+        result.worker_of[task_id] = worker
+        heapq.heappush(worker_heap, (finish, worker))
+        scheduled += 1
+        for child in children[task_id]:
+            dep_finish[child] = max(dep_finish[child], finish)
+            remaining_deps[child] -= 1
+            if remaining_deps[child] == 0:
+                heapq.heappush(ready, (-levels[child], child))
+
+    if scheduled != len(tasks):
+        raise ValueError("task graph contains a cycle or unreachable tasks")
+    result.makespan = max(result.finish_times.values())
+    return result
+
+
+class TaskGraphWorkload:
+    """A workload combining serial sections with a scheduled task graph.
+
+    Drop-in alternative to :class:`~repro.parallel.taskgraph.WorkProfile`
+    for engines with irregular parallelism (the router's net-level waves):
+    ``runtime(k)`` = serial sections + list-scheduled makespan of the task
+    graph on ``k`` workers, with the same per-worker sync overhead model.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        name: str = "",
+        sync_overhead: float = DEFAULT_SYNC_OVERHEAD,
+    ):
+        self.graph = graph
+        self.name = name
+        self.sync_overhead = sync_overhead
+        self.sections: List[Section] = []
+        self._makespan_cache: Dict[int, float] = {}
+
+    def add(self, work: float, parallelism: float = 1.0, name: str = "") -> None:
+        """Append a fork-join section executed outside the task graph."""
+        if work > 0:
+            self.sections.append(Section(work=work, parallelism=parallelism, name=name))
+
+    @property
+    def total_work(self) -> float:
+        return self.graph.total_work + sum(s.work for s in self.sections)
+
+    def makespan(self, workers: int) -> float:
+        """Scheduled makespan of the task-graph part (cached per k)."""
+        if workers not in self._makespan_cache:
+            self._makespan_cache[workers] = list_schedule(self.graph, workers).makespan
+        return self._makespan_cache[workers]
+
+    def runtime(self, workers: int, sync_overhead: Optional[float] = None) -> float:
+        """Wall-clock runtime on ``workers`` vCPUs."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        overhead = self.sync_overhead if sync_overhead is None else sync_overhead
+        serial = sum(s.runtime(workers, overhead) for s in self.sections)
+        graph_time = self.makespan(workers) * (1.0 + overhead * (workers - 1.0))
+        return serial + graph_time
+
+    def speedup(self, workers: int, sync_overhead: Optional[float] = None) -> float:
+        """Speedup relative to a single worker."""
+        base = self.runtime(1, sync_overhead)
+        t = self.runtime(workers, sync_overhead)
+        return base / t if t > 0 else 1.0
+
+    def parallel_fraction(self) -> float:
+        """Fraction of total work inside the task graph."""
+        total = self.total_work
+        return self.graph.total_work / total if total else 0.0

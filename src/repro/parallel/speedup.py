@@ -1,0 +1,106 @@
+"""Speedup curves and scaling-law fits.
+
+Utilities behind Figure 2-d and Figure 3: turning runtime-vs-vCPU samples
+into speedup curves, fitting Amdahl's law to estimate the parallel
+fraction, and computing parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SpeedupCurve",
+    "speedup_curve",
+    "amdahl_speedup",
+    "fit_amdahl_fraction",
+    "gustafson_speedup",
+]
+
+#: The vCPU counts the paper evaluates everywhere.
+PAPER_VCPU_LEVELS = (1, 2, 4, 8)
+
+
+@dataclass
+class SpeedupCurve:
+    """Runtime and speedup at each vCPU level."""
+
+    vcpus: List[int]
+    runtimes: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.vcpus) != len(self.runtimes):
+            raise ValueError("vcpus and runtimes must align")
+        if not self.vcpus or self.vcpus[0] != min(self.vcpus):
+            raise ValueError("curves must start at the smallest vCPU count")
+
+    @property
+    def speedups(self) -> List[float]:
+        """Speedup relative to the smallest vCPU count."""
+        base = self.runtimes[0]
+        return [base / t if t > 0 else 1.0 for t in self.runtimes]
+
+    @property
+    def efficiencies(self) -> List[float]:
+        """Speedup divided by the worker ratio."""
+        base_k = self.vcpus[0]
+        return [s / (k / base_k) for s, k in zip(self.speedups, self.vcpus)]
+
+    def as_dict(self) -> Dict[int, float]:
+        return dict(zip(self.vcpus, self.runtimes))
+
+    def parallel_fraction(self) -> float:
+        """Amdahl parallel-fraction fit over this curve."""
+        return fit_amdahl_fraction(self.vcpus, self.speedups)
+
+
+def speedup_curve(
+    runtime_fn: Callable[[int], float], vcpus: Sequence[int] = PAPER_VCPU_LEVELS
+) -> SpeedupCurve:
+    """Evaluate a runtime function over vCPU levels."""
+    ks = sorted(int(k) for k in vcpus)
+    return SpeedupCurve(vcpus=ks, runtimes=[float(runtime_fn(k)) for k in ks])
+
+
+def amdahl_speedup(parallel_fraction: float, workers: float) -> float:
+    """Amdahl's law: ``1 / ((1 - f) + f / k)``."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel_fraction must be in [0, 1]")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / workers)
+
+
+def gustafson_speedup(parallel_fraction: float, workers: float) -> float:
+    """Gustafson's law: ``(1 - f) + f * k`` (scaled-workload speedup)."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel_fraction must be in [0, 1]")
+    return (1.0 - parallel_fraction) + parallel_fraction * workers
+
+
+def fit_amdahl_fraction(vcpus: Sequence[int], speedups: Sequence[float]) -> float:
+    """Least-squares fit of the Amdahl parallel fraction ``f``.
+
+    Amdahl's law linearizes as ``1/S = (1 - f) + f * (1/k)``; regressing
+    ``1/S`` on ``1/k`` yields ``f`` from the slope.  The result is clipped
+    to [0, 1].
+    """
+    ks = np.asarray(vcpus, dtype=float)
+    ss = np.asarray(speedups, dtype=float)
+    if ks.shape != ss.shape or ks.size < 2:
+        raise ValueError("need at least two (vcpus, speedup) samples")
+    if np.any(ks < 1) or np.any(ss <= 0):
+        raise ValueError("vcpus must be >= 1 and speedups positive")
+    x = 1.0 / ks
+    y = 1.0 / ss
+    # y = (1 - f) + f * x  ->  slope = f, intercept = 1 - f; fit jointly by
+    # minimizing ||a + b x - y|| then projecting onto the constraint a+b=1.
+    A = np.stack([np.ones_like(x), x], axis=1)
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    intercept, slope = float(coef[0]), float(coef[1])
+    # Blend toward the constraint a + b = 1 implied by S(1) = 1.
+    f = 0.5 * (slope + (1.0 - intercept))
+    return float(min(1.0, max(0.0, f)))

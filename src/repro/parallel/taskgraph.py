@@ -1,0 +1,175 @@
+"""Work profiles and task graphs: the vCPU execution model.
+
+The paper emulates VM sizes with Linux cgroups and measures wall-clock
+runtime under 1/2/4/8 vCPUs.  Our substitute: every EDA engine describes
+the work it *actually performed* as either
+
+* a :class:`WorkProfile` — an ordered list of :class:`Section` objects,
+  each with an amount of work (in seconds of single-core compute) and a
+  maximum useful parallelism; or
+* a :class:`TaskGraph` — an explicit DAG of tasks that the list scheduler
+  in :mod:`repro.parallel.scheduler` maps onto k workers.
+
+``runtime(k)`` then follows from the profile.  Sections model the classic
+fork-join phases of synthesis/placement/STA; the task graph captures
+routing's irregular net-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Section", "WorkProfile", "Task", "TaskGraph", "DEFAULT_SYNC_OVERHEAD"]
+
+#: Per-extra-worker synchronization overhead (fraction of section time).
+#: Nonzero overhead is what keeps measured speedups strictly below ideal,
+#: as in the paper's Figure 2-d.
+DEFAULT_SYNC_OVERHEAD = 0.03
+
+
+@dataclass(frozen=True)
+class Section:
+    """One fork-join phase of an engine run.
+
+    Attributes
+    ----------
+    work:
+        Total single-core compute in seconds.
+    parallelism:
+        Maximum number of workers that can usefully cooperate (1 = serial).
+    name:
+        Phase label for reports (e.g. ``"gradient"``, ``"legalize"``).
+    """
+
+    work: float
+    parallelism: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("section work must be non-negative")
+        if self.parallelism < 1:
+            raise ValueError("section parallelism must be >= 1")
+
+    def runtime(self, workers: int, sync_overhead: float = DEFAULT_SYNC_OVERHEAD) -> float:
+        """Wall-clock time of this section on ``workers`` vCPUs."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        effective = min(float(workers), self.parallelism)
+        base = self.work / effective
+        return base * (1.0 + sync_overhead * (effective - 1.0))
+
+
+@dataclass
+class WorkProfile:
+    """An ordered list of sections describing one engine execution."""
+
+    sections: List[Section] = field(default_factory=list)
+    name: str = ""
+
+    def add(self, work: float, parallelism: float = 1.0, name: str = "") -> None:
+        """Append a section (zero-work sections are dropped)."""
+        if work > 0:
+            self.sections.append(Section(work=work, parallelism=parallelism, name=name))
+
+    def extend(self, other: "WorkProfile") -> None:
+        self.sections.extend(other.sections)
+
+    @property
+    def total_work(self) -> float:
+        """Total single-core compute across all sections."""
+        return sum(s.work for s in self.sections)
+
+    @property
+    def span(self) -> float:
+        """Critical-path time: runtime with unlimited workers (no overhead)."""
+        return sum(s.work / s.parallelism for s in self.sections)
+
+    def runtime(self, workers: int, sync_overhead: float = DEFAULT_SYNC_OVERHEAD) -> float:
+        """Wall-clock runtime on ``workers`` vCPUs."""
+        return sum(s.runtime(workers, sync_overhead) for s in self.sections)
+
+    def speedup(self, workers: int, sync_overhead: float = DEFAULT_SYNC_OVERHEAD) -> float:
+        """Speedup relative to a single worker."""
+        base = self.runtime(1, sync_overhead)
+        t = self.runtime(workers, sync_overhead)
+        return base / t if t > 0 else 1.0
+
+    def parallel_fraction(self) -> float:
+        """Fraction of total work that sits in parallelizable sections."""
+        total = self.total_work
+        if total == 0:
+            return 0.0
+        parallel = sum(s.work for s in self.sections if s.parallelism > 1)
+        return parallel / total
+
+    def scaled(self, factor: float) -> "WorkProfile":
+        """Return a copy with all section works multiplied by ``factor``."""
+        out = WorkProfile(name=self.name)
+        out.sections = [
+            Section(work=s.work * factor, parallelism=s.parallelism, name=s.name)
+            for s in self.sections
+        ]
+        return out
+
+
+@dataclass
+class Task:
+    """One schedulable unit in a :class:`TaskGraph`."""
+
+    task_id: int
+    work: float
+    deps: Tuple[int, ...] = ()
+    name: str = ""
+
+
+class TaskGraph:
+    """A DAG of tasks for irregular parallelism (routing waves, etc.)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._tasks: Dict[int, Task] = {}
+
+    def add_task(self, work: float, deps: Iterable[int] = (), name: str = "") -> int:
+        """Add a task; returns its id."""
+        if work < 0:
+            raise ValueError("task work must be non-negative")
+        deps = tuple(deps)
+        for d in deps:
+            if d not in self._tasks:
+                raise ValueError(f"dependency {d} does not exist")
+        task_id = len(self._tasks)
+        self._tasks[task_id] = Task(task_id=task_id, work=work, deps=deps, name=name)
+        return task_id
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [self._tasks[i] for i in sorted(self._tasks)]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def total_work(self) -> float:
+        return sum(t.work for t in self._tasks.values())
+
+    def critical_path(self) -> float:
+        """Length of the longest dependency chain (= runtime with infinite workers)."""
+        finish: Dict[int, float] = {}
+        for task in self.tasks:  # ids are topological by construction
+            start = max((finish[d] for d in task.deps), default=0.0)
+            finish[task.task_id] = start + task.work
+        return max(finish.values(), default=0.0)
+
+    def bottom_levels(self) -> Dict[int, float]:
+        """Bottom level (critical path to any sink) per task, for scheduling."""
+        children: Dict[int, List[int]] = {i: [] for i in self._tasks}
+        for task in self._tasks.values():
+            for d in task.deps:
+                children[d].append(task.task_id)
+        levels: Dict[int, float] = {}
+        for task in reversed(self.tasks):
+            below = max((levels[c] for c in children[task.task_id]), default=0.0)
+            levels[task.task_id] = task.work + below
+        return levels

@@ -1,0 +1,35 @@
+"""Simulated hardware performance counters.
+
+Substitutes the paper's ``linux perf`` instrumentation of real Xeon
+hardware: a set-associative cache hierarchy, 2-bit/gshare branch
+predictors, floating-point accounting, and an :class:`Instrument` facade
+that the EDA engines report events into.
+"""
+
+from .branch import BranchStats, GSharePredictor, TwoBitPredictor
+from .cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevel,
+    L1_BYTES,
+    LLC_PER_VCPU_BYTES,
+    hierarchy_for_vcpus,
+)
+from .counters import PerfCounters
+from .instrument import Instrument, NullInstrument, make_instrument
+
+__all__ = [
+    "BranchStats",
+    "GSharePredictor",
+    "TwoBitPredictor",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "L1_BYTES",
+    "LLC_PER_VCPU_BYTES",
+    "hierarchy_for_vcpus",
+    "PerfCounters",
+    "Instrument",
+    "NullInstrument",
+    "make_instrument",
+]

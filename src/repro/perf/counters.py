@@ -1,0 +1,121 @@
+"""Hardware performance counter aggregation.
+
+The paper instruments real runs with ``linux perf`` and reads hardware
+counters (branch misses, cache misses, AVX floating-point operations).  Our
+engines run real algorithms but on a simulated micro-architecture, so the
+counters here are filled by :mod:`repro.perf.instrument` from the event
+streams the algorithms emit.
+
+The derived-rate definitions intentionally mirror ``perf stat``:
+
+* ``branch_miss_rate``   = branch-misses / branches
+* ``cache_miss_rate``    = cache-misses / cache-references, where
+  cache-references are last-level-cache accesses (i.e. L1 misses) — this is
+  what the stock ``cache-references``/``cache-misses`` events count and what
+  makes the paper's "45% cache miss rate for placement" a sensible number.
+* ``avx_share``          = AVX FP ops / total retired instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Raw counter values accumulated over one job execution."""
+
+    instructions: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    mem_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    fp_scalar_ops: int = 0
+    fp_avx_ops: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived rates (the quantities plotted in Figure 2)
+    # ------------------------------------------------------------------
+    @property
+    def branch_miss_rate(self) -> float:
+        """Fraction of branches mispredicted (Figure 2-a)."""
+        return self.branch_misses / self.branches if self.branches else 0.0
+
+    @property
+    def llc_accesses(self) -> int:
+        """Last-level-cache references (= L1 misses), like ``cache-references``."""
+        return self.llc_hits + self.llc_misses
+
+    @property
+    def cache_miss_rate(self) -> float:
+        """``cache-misses / cache-references`` (Figure 2-b)."""
+        return self.llc_misses / self.llc_accesses if self.llc_accesses else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 data-cache miss fraction."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def fp_ops(self) -> int:
+        """All floating-point operations, scalar plus vector."""
+        return self.fp_scalar_ops + self.fp_avx_ops
+
+    @property
+    def avx_instructions(self) -> int:
+        """Retired AVX instructions, assuming 4-wide vectors."""
+        return self.fp_avx_ops // 4
+
+    @property
+    def avx_share(self) -> float:
+        """AVX instructions as a fraction of retired instructions (Figure 2-c)."""
+        return self.avx_instructions / self.instructions if self.instructions else 0.0
+
+    @property
+    def fp_share(self) -> float:
+        """All FP ops as a fraction of retired instructions."""
+        return self.fp_ops / self.instructions if self.instructions else 0.0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Return the element-wise sum of two counter sets."""
+        merged = PerfCounters()
+        for f in fields(PerfCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return self.merge(other)
+
+    def as_dict(self) -> dict:
+        """Raw counters plus derived rates, for reports."""
+        out = {f.name: getattr(self, f.name) for f in fields(PerfCounters)}
+        out.update(
+            branch_miss_rate=self.branch_miss_rate,
+            cache_miss_rate=self.cache_miss_rate,
+            l1_miss_rate=self.l1_miss_rate,
+            avx_share=self.avx_share,
+            fp_share=self.fp_share,
+        )
+        return out
+
+    def summary(self) -> str:
+        """A compact, ``perf stat``-like report."""
+        return (
+            f"instructions      {self.instructions:>14,}\n"
+            f"branches          {self.branches:>14,}\n"
+            f"branch-misses     {self.branch_misses:>14,}  "
+            f"({100 * self.branch_miss_rate:.2f}% of all branches)\n"
+            f"cache-references  {self.llc_accesses:>14,}\n"
+            f"cache-misses      {self.llc_misses:>14,}  "
+            f"({100 * self.cache_miss_rate:.2f}% of all cache refs)\n"
+            f"fp-scalar-ops     {self.fp_scalar_ops:>14,}\n"
+            f"fp-avx-ops        {self.fp_avx_ops:>14,}  "
+            f"({100 * self.avx_share:.2f}% of instructions)"
+        )

@@ -1,0 +1,171 @@
+"""Tests for the cloud substrate: instances, pricing, tenancy, plans."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import (
+    DeploymentPlan,
+    InstanceFamily,
+    NeighborLoad,
+    PricingTable,
+    RECOMMENDED_FAMILY,
+    TenancyModel,
+    VMConfig,
+    aws_like_catalog,
+    uniform_plan,
+)
+from repro.eda.job import EDAStage
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return aws_like_catalog()
+
+
+class TestVMConfig:
+    def test_per_second_billing_rounds_up(self):
+        vm = VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 2, 8.0, 3.6)
+        assert vm.price_per_second == pytest.approx(0.001)
+        assert vm.cost(10.2) == pytest.approx(11 * 0.001)
+        assert vm.cost(10.0) == pytest.approx(10 * 0.001)
+
+    def test_zero_runtime_costs_nothing(self):
+        vm = VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 1, 4.0, 1.0)
+        assert vm.cost(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 1, 4.0, -1.0)
+        with pytest.raises(ValueError):
+            VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 1, 4.0, 1.0).cost(-1)
+
+    def test_memory_per_vcpu(self):
+        vm = VMConfig("t", InstanceFamily.MEMORY_OPTIMIZED, 4, 32.0, 1.0)
+        assert vm.memory_per_vcpu == 8.0
+
+    @given(st.floats(0.0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_monotone_in_runtime(self, runtime):
+        vm = VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 1, 4.0, 0.5)
+        assert vm.cost(runtime + 1.0) >= vm.cost(runtime)
+
+
+class TestCatalog:
+    def test_has_all_families_and_sizes(self, catalog):
+        for family in InstanceFamily:
+            for vcpus in (1, 2, 4, 8):
+                vm = catalog.config(family, vcpus)
+                assert vm.vcpus == vcpus
+                assert vm.family == family
+
+    def test_memory_optimized_has_higher_ratio(self, catalog):
+        gp = catalog.config(InstanceFamily.GENERAL_PURPOSE, 4)
+        mem = catalog.config(InstanceFamily.MEMORY_OPTIMIZED, 4)
+        assert mem.memory_per_vcpu > gp.memory_per_vcpu
+        assert mem.price_per_hour > gp.price_per_hour
+
+    def test_prices_increase_with_size(self, catalog):
+        for family in InstanceFamily:
+            prices = [catalog.config(family, v).price_per_hour for v in (1, 2, 4, 8)]
+            assert prices == sorted(prices)
+
+    def test_sublinear_pricing_matches_paper_structure(self, catalog):
+        """The 8-vCPU tier costs less than 8x the 1-vCPU tier (as in the
+        effective rates implied by the paper's Table I)."""
+        for family in (InstanceFamily.GENERAL_PURPOSE, InstanceFamily.MEMORY_OPTIMIZED):
+            p1 = catalog.config(family, 1).price_per_hour
+            p8 = catalog.config(family, 8).price_per_hour
+            assert p8 < 8 * p1
+
+    def test_options_filters(self, catalog):
+        opts = catalog.options(family=InstanceFamily.GENERAL_PURPOSE, vcpus=[2, 4])
+        assert [o.vcpus for o in opts] == [2, 4]
+
+    def test_cheapest(self, catalog):
+        cheapest = catalog.cheapest(1)
+        assert cheapest.price_per_hour == min(
+            c.price_per_hour for c in catalog.options(vcpus=[1])
+        )
+
+    def test_by_name_and_len(self, catalog):
+        assert catalog.by_name("gp.2x").vcpus == 2
+        assert len(catalog) == 12
+
+    def test_missing_config_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.config(InstanceFamily.GENERAL_PURPOSE, 3)
+
+    def test_duplicate_names_rejected(self, catalog):
+        vm = catalog.by_name("gp.2x")
+        with pytest.raises(ValueError):
+            PricingTable([vm, vm])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            PricingTable([])
+
+
+class TestTenancy:
+    def test_no_neighbors_no_slowdown(self):
+        model = TenancyModel()
+        assert model.slowdown(NeighborLoad(), cache_miss_rate=0.5) == 1.0
+
+    def test_memory_bound_jobs_suffer_more(self):
+        model = TenancyModel()
+        noisy = NeighborLoad(cpu=0.5, memory_bandwidth=0.9)
+        placement_like = model.slowdown(noisy, cache_miss_rate=0.45)
+        synthesis_like = model.slowdown(noisy, cache_miss_rate=0.10)
+        assert placement_like > synthesis_like > 1.0
+
+    def test_effective_runtime(self):
+        model = TenancyModel(cpu_sensitivity=0.0, bandwidth_sensitivity=0.5)
+        neighbor = NeighborLoad(memory_bandwidth=1.0)
+        assert model.effective_runtime(100.0, neighbor, 0.4) == pytest.approx(120.0)
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            NeighborLoad(cpu=1.5)
+        with pytest.raises(ValueError):
+            TenancyModel().slowdown(NeighborLoad(), cache_miss_rate=2.0)
+
+    def test_sample_neighbors_deterministic(self):
+        model = TenancyModel()
+        a = model.sample_neighbors(10, seed=1)
+        b = model.sample_neighbors(10, seed=1)
+        assert a == b
+        assert len(a) == 10
+
+
+class TestDeploymentPlan:
+    def test_uniform_plan_baselines(self, catalog):
+        runtimes = {
+            EDAStage.SYNTHESIS: {1: 6100.0, 8: 3352.0},
+            EDAStage.ROUTING: {1: 10461.0, 8: 1692.0},
+        }
+        over = uniform_plan("d", runtimes, vcpus=8, catalog=catalog)
+        under = uniform_plan("d", runtimes, vcpus=1, catalog=catalog)
+        assert over.total_runtime < under.total_runtime
+        assert over.total_cost != under.total_cost
+        assert over.meets_deadline(6000)
+        assert not under.meets_deadline(6000)
+
+    def test_uniform_plan_uses_recommended_families(self, catalog):
+        runtimes = {EDAStage.ROUTING: {1: 100.0}}
+        plan = uniform_plan("d", runtimes, vcpus=1, catalog=catalog)
+        assert plan.assignments[0].vm.family == RECOMMENDED_FAMILY[EDAStage.ROUTING]
+
+    def test_missing_vcpu_level_raises(self, catalog):
+        with pytest.raises(KeyError):
+            uniform_plan("d", {EDAStage.STA: {1: 10.0}}, vcpus=4, catalog=catalog)
+
+    def test_summary_contains_total(self, catalog):
+        plan = uniform_plan(
+            "design_x", {EDAStage.STA: {1: 10.0}}, vcpus=1, catalog=catalog
+        )
+        text = plan.summary()
+        assert "design_x" in text
+        assert "TOTAL" in text

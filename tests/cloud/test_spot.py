@@ -1,0 +1,139 @@
+"""Tests for the spot-market extension."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import SpotMarket, aws_like_catalog, spot_expected_runtime
+from repro.core.optimize import (
+    ConfigOption,
+    StageOptions,
+    solve_min_cost_dp,
+)
+from repro.eda.job import EDAStage
+
+
+class TestExpectedRuntime:
+    def test_no_interruptions_is_identity(self):
+        assert spot_expected_runtime(1234.0, 0.0) == 1234.0
+
+    def test_zero_runtime(self):
+        assert spot_expected_runtime(0.0, 1.0) == 0.0
+
+    def test_closed_form(self):
+        """E[T] = (e^{lam T} - 1)/lam for restart-from-scratch."""
+        lam = 0.2 / 3600.0
+        t = 3600.0
+        expected = (math.exp(lam * t) - 1.0) / lam
+        assert spot_expected_runtime(t, 0.2) == pytest.approx(expected)
+
+    def test_checkpointing_caps_penalty(self):
+        """Fine checkpoints make expected time approach nominal."""
+        long_job = 8 * 3600.0
+        raw = spot_expected_runtime(long_job, 0.5)
+        ckpt = spot_expected_runtime(long_job, 0.5, checkpoint_interval_seconds=600)
+        assert ckpt < raw
+        assert ckpt == pytest.approx(long_job, rel=0.06)
+
+    @given(st.floats(1.0, 1e5), st.floats(0.0, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_expected_at_least_nominal(self, runtime, rate):
+        assert spot_expected_runtime(runtime, rate) >= runtime - 1e-6
+
+    @given(st.floats(1.0, 1e4), st.floats(0.01, 1.0), st.floats(10.0, 5e3))
+    @settings(max_examples=80, deadline=None)
+    def test_checkpointing_never_hurts(self, runtime, rate, interval):
+        raw = spot_expected_runtime(runtime, rate)
+        ckpt = spot_expected_runtime(runtime, rate, checkpoint_interval_seconds=interval)
+        assert ckpt <= raw * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spot_expected_runtime(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            spot_expected_runtime(1.0, -0.1)
+        with pytest.raises(ValueError):
+            spot_expected_runtime(1.0, 0.1, checkpoint_interval_seconds=0)
+
+
+class TestSpotMarket:
+    def test_quote_economics(self):
+        market = SpotMarket(discount=0.3, interrupt_rate_per_hour=0.05)
+        vm = market.catalog.by_name("gp.2x")
+        quote = market.quote(vm, 1800.0)
+        # short job in a calm pool: spot is a clear win
+        on_demand = vm.cost(1800.0)
+        assert quote.expected_cost < on_demand
+        assert quote.risk_stretch < 1.05
+
+    def test_long_jobs_lose_without_checkpoints(self):
+        market = SpotMarket(discount=0.3, interrupt_rate_per_hour=0.5)
+        vm = market.catalog.by_name("gp.2x")
+        breakeven = market.breakeven_runtime(vm)
+        assert math.isfinite(breakeven)
+        short = market.quote(vm, breakeven * 0.5)
+        long = market.quote(vm, breakeven * 2.0)
+        assert short.expected_cost < vm.cost(short.nominal_runtime)
+        assert long.expected_cost > vm.cost(long.nominal_runtime)
+
+    def test_breakeven_with_checkpointing(self):
+        calm = SpotMarket(
+            discount=0.3, interrupt_rate_per_hour=0.5,
+            checkpoint_interval_seconds=300,
+        )
+        vm = calm.catalog.by_name("gp.2x")
+        assert calm.breakeven_runtime(vm) == math.inf  # spot always wins
+
+    def test_no_interrupts_breakeven_infinite(self):
+        market = SpotMarket(discount=0.3, interrupt_rate_per_hour=0.0)
+        assert market.breakeven_runtime(market.catalog.by_name("gp.1x")) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotMarket(discount=0.0)
+        with pytest.raises(ValueError):
+            SpotMarket(interrupt_rate_per_hour=-1.0)
+
+    def test_augment_stage_options_doubles_menu(self):
+        catalog = aws_like_catalog()
+        vm = catalog.config_list = None  # noqa - keep linter quiet
+        stage = StageOptions(
+            stage=EDAStage.SYNTHESIS,
+            options=[
+                ConfigOption(
+                    vm=catalog.by_name("gp.1x"), runtime_seconds=600, price=0.02
+                ),
+                ConfigOption(
+                    vm=catalog.by_name("gp.8x"), runtime_seconds=100, price=0.01
+                ),
+            ],
+        )
+        market = SpotMarket(discount=0.3, interrupt_rate_per_hour=0.05)
+        augmented = market.augment_stage_options([stage])
+        assert len(augmented[0].options) == 4
+        spot_names = [o.vm.name for o in augmented[0].options if "spot" in o.vm.name]
+        assert spot_names == ["gp.1x.spot", "gp.8x.spot"]
+
+    def test_optimizer_picks_spot_when_cheap(self):
+        """End-to-end: the MCKP DP mixes spot in when the deadline allows."""
+        catalog = aws_like_catalog()
+        stage = StageOptions(
+            stage=EDAStage.ROUTING,
+            options=[
+                ConfigOption(
+                    vm=catalog.by_name("mem.4x"),
+                    runtime_seconds=1000,
+                    price=catalog.by_name("mem.4x").cost(1000),
+                )
+            ],
+        )
+        market = SpotMarket(discount=0.3, interrupt_rate_per_hour=0.05)
+        augmented = market.augment_stage_options([stage])
+        relaxed = solve_min_cost_dp(augmented, 5000)
+        assert "spot" in relaxed.choices[EDAStage.ROUTING].vm.name
+        # With a deadline tighter than the spot expected runtime, the DP
+        # must fall back to on-demand.
+        spot_rt = max(o.runtime_seconds for o in augmented[0].options)
+        tight = solve_min_cost_dp(augmented, spot_rt - 1)
+        assert "spot" not in tight.choices[EDAStage.ROUTING].vm.name

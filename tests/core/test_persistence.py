@@ -1,0 +1,63 @@
+"""Tests for predictor-suite persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_suite, save_suite
+from repro.core.predict import DatasetSpec, build_datasets, train_predictors
+from repro.eda.job import EDAStage
+from repro.gnn.graph import PreparedGraph
+from repro.netlist import aig_to_graph, benchmarks, netlist_to_star_graph
+from repro.eda.synthesis import SynthesisEngine
+
+
+@pytest.fixture(scope="module")
+def trained_suite():
+    spec = DatasetSpec(
+        designs=("ctrl", "adder", "router", "voter"),
+        variants_per_design=2,
+        scale=0.3,
+    )
+    datasets = build_datasets(spec)
+    return train_predictors(
+        datasets, epochs=5, lr=1e-3, hidden1=16, hidden2=8, fc_units=8
+    )
+
+
+def test_roundtrip_predictions_identical(tmp_path, trained_suite):
+    path = str(tmp_path / "suite.npz")
+    save_suite(trained_suite, path)
+    restored = load_suite(path)
+
+    aig = benchmarks.build("mem_ctrl", 0.25)
+    netlist = SynthesisEngine().run(aig).artifact
+    aig_graph = aig_to_graph(aig)
+    net_graph = netlist_to_star_graph(netlist)
+
+    original = trained_suite.predict_stage_runtimes(aig_graph, net_graph)
+    loaded = restored.predict_stage_runtimes(aig_graph, net_graph)
+    for stage in EDAStage.ordered():
+        for v in (1, 2, 4, 8):
+            assert loaded[stage][v] == pytest.approx(original[stage][v])
+
+
+def test_all_stages_restored(tmp_path, trained_suite):
+    path = str(tmp_path / "suite.npz")
+    save_suite(trained_suite, path)
+    restored = load_suite(path)
+    assert set(restored.predictors) == set(trained_suite.predictors)
+    for stage, predictor in restored.predictors.items():
+        src = trained_suite.predictors[stage]
+        assert np.allclose(predictor.target_offset, src.target_offset)
+        assert np.allclose(predictor.target_std, src.target_std)
+        assert predictor.model.num_parameters() == src.model.num_parameters()
+
+
+def test_bad_version_rejected(tmp_path, trained_suite):
+    path = str(tmp_path / "suite.npz")
+    save_suite(trained_suite, path)
+    data = dict(np.load(path, allow_pickle=False))
+    data["__version__"] = np.array([99])
+    np.savez_compressed(path, **data)
+    with pytest.raises(ValueError):
+        load_suite(path)

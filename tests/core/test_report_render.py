@@ -1,0 +1,36 @@
+"""Edge-case tests for the report renderers."""
+
+import pytest
+
+from repro.core.report import format_table, render_figure5
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 2
+
+    def test_cells_coerced_to_strings(self):
+        text = format_table(["x"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_width_tracks_longest_cell(self):
+        text = format_table(["h"], [["a" * 30]])
+        assert max(len(l) for l in text.splitlines()) >= 30
+
+
+class TestFigure5Renderer:
+    def test_empty_histogram_bucket(self):
+        text = render_figure5({"m": {"0-10%": 0}}, {"m": 0.0})
+        assert "0-10%" in text
+        assert "0.0%" in text
+
+    def test_bar_lengths_proportional(self):
+        text = render_figure5(
+            {"m": {"low": 30, "high": 10}}, {"m": 0.2}
+        )
+        lines = {l.split("|")[0].strip(): l for l in text.splitlines() if "|" in l}
+        low_bar = lines["low"].count("#")
+        high_bar = lines["high"].count("#")
+        assert low_bar == 3 * high_bar

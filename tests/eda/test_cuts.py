@@ -1,0 +1,113 @@
+"""Tests for priority-cut enumeration."""
+
+import pytest
+
+from repro.eda.cuts import enumerate_cuts
+from repro.netlist import benchmarks
+from repro.netlist.aig import AIG, lit_node
+from repro.perf import make_instrument
+
+
+def _cut_function_by_simulation(aig, node, cut):
+    """Recompute a cut's truth table by simulating the cone."""
+    table = 0
+    for assignment in range(1 << cut.size):
+        # Assign leaf values; everything else follows by simulation of the
+        # whole AIG with leaves forced (works because leaves dominate node).
+        values = {0: False}
+        for j, leaf in enumerate(cut.leaves):
+            values[leaf] = bool((assignment >> j) & 1)
+
+        def node_value(n):
+            if n in values:
+                return values[n]
+            if aig.is_input(n):
+                # Inputs outside the cut cannot influence the node if the
+                # cut is valid, so any value works; use False.
+                values[n] = False
+                return False
+            a, b = aig.fanins(n)
+            va = node_value(lit_node(a)) ^ bool(a & 1)
+            vb = node_value(lit_node(b)) ^ bool(b & 1)
+            values[n] = va and vb
+            return values[n]
+
+        if node_value(node):
+            table |= 1 << assignment
+    return table
+
+
+@pytest.fixture(scope="module")
+def small_aig():
+    return benchmarks.build("ctrl", 0.3)
+
+
+class TestEnumeration:
+    def test_every_node_has_trivial_cut(self, small_aig):
+        cuts, _stats = enumerate_cuts(small_aig, k=4, cap=4)
+        for node in range(small_aig.size):
+            assert any(c.leaves == (node,) for c in cuts[node])
+
+    def test_cut_size_bounded(self, small_aig):
+        for k in (2, 3, 4):
+            cuts, _ = enumerate_cuts(small_aig, k=k, cap=4)
+            for node, node_cuts in cuts.items():
+                for c in node_cuts:
+                    assert c.size <= max(k, 1)
+
+    def test_cap_respected(self, small_aig):
+        cuts, _ = enumerate_cuts(small_aig, k=4, cap=3)
+        for node_cuts in cuts.values():
+            assert len(node_cuts) <= 3 + 1  # plus the trivial cut
+
+    def test_k_out_of_range(self, small_aig):
+        with pytest.raises(ValueError):
+            enumerate_cuts(small_aig, k=1)
+        with pytest.raises(ValueError):
+            enumerate_cuts(small_aig, k=7)
+
+    def test_stats_accounting(self, small_aig):
+        _cuts, stats = enumerate_cuts(small_aig, k=4, cap=4)
+        assert stats.merges > 0
+        assert stats.kept + stats.pruned <= stats.merges + stats.kept  # sanity
+        assert stats.kept > 0
+
+    def test_instrumented_run_records_events(self, small_aig):
+        inst = make_instrument(1)
+        enumerate_cuts(small_aig, k=4, cap=4, instrument=inst)
+        assert inst.counters.mem_accesses > 0
+        assert inst.counters.branches > 0
+
+
+class TestCutFunctions:
+    def test_cut_tables_match_cone_simulation(self):
+        """Each cut's truth table equals the function of its cone."""
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        c = aig.add_input()
+        x = aig.add_and(a, b)
+        y = aig.add_or(x, c)
+        z = aig.add_xor(x, y)
+        aig.add_output(z)
+        cuts, _ = enumerate_cuts(aig, k=4, cap=6)
+        checked = 0
+        for node in aig.and_nodes():
+            for cut in cuts[node]:
+                if cut.size <= 1:
+                    continue
+                expected = _cut_function_by_simulation(aig, node, cut)
+                assert cut.table == expected, (node, cut)
+                checked += 1
+        assert checked > 0
+
+    def test_cut_tables_on_benchmark(self, small_aig):
+        cuts, _ = enumerate_cuts(small_aig, k=3, cap=3)
+        # spot-check a sample of nodes
+        nodes = [n for n in small_aig.and_nodes()][::17]
+        for node in nodes:
+            for cut in cuts[node]:
+                if cut.size <= 1 or cut.size > 3:
+                    continue
+                expected = _cut_function_by_simulation(small_aig, node, cut)
+                assert cut.table == expected

@@ -1,0 +1,57 @@
+"""Integration tests for the four-stage flow runner."""
+
+import pytest
+
+from repro.eda import EDAStage, FlowRunner
+from repro.netlist import benchmarks
+from repro.perf import make_instrument
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return FlowRunner().run(benchmarks.build("router", 0.8))
+
+
+class TestFlow:
+    def test_all_stages_present(self, flow_result):
+        assert set(flow_result.stages) == set(EDAStage.ordered())
+
+    def test_artifacts_chain(self, flow_result):
+        netlist = flow_result[EDAStage.SYNTHESIS].artifact
+        placement = flow_result[EDAStage.PLACEMENT].artifact
+        assert placement.netlist is netlist
+        routing = flow_result[EDAStage.ROUTING].artifact
+        assert routing.num_segments > 0
+        timing = flow_result[EDAStage.STA].artifact
+        assert timing.max_arrival > 0
+
+    def test_runtimes_positive_and_monotone(self, flow_result):
+        for vcpus in (1, 2, 4, 8):
+            rts = flow_result.runtimes(vcpus)
+            assert all(t > 0 for t in rts.values())
+        assert flow_result.total_runtime(1) > flow_result.total_runtime(8)
+
+    def test_per_stage_speedup_ordering(self):
+        """Figure 2-d ordering: routing scales best, synthesis worst."""
+        fr = FlowRunner().run(benchmarks.build("sparc_core", 1.0))
+        spd = {s: r.profile.speedup(8) for s, r in fr.stages.items()}
+        assert spd[EDAStage.ROUTING] > spd[EDAStage.PLACEMENT]
+        assert spd[EDAStage.ROUTING] > spd[EDAStage.STA]
+        assert spd[EDAStage.PLACEMENT] > spd[EDAStage.SYNTHESIS]
+
+    def test_instrumented_flow_counters(self):
+        instruments = {s: make_instrument(1, sample_rate=4) for s in EDAStage}
+        fr = FlowRunner().run(benchmarks.build("router", 0.6), instruments=instruments)
+        for stage, result in fr.stages.items():
+            assert result.counters.instructions > 0, stage
+
+    def test_summary_contains_stages(self, flow_result):
+        text = flow_result.summary()
+        for stage in EDAStage.ordered():
+            assert stage.display_name in text
+
+    def test_flow_determinism(self):
+        aig = benchmarks.build("voter", 0.6)
+        r1 = FlowRunner(seed=2).run(aig)
+        r2 = FlowRunner(seed=2).run(aig)
+        assert r1.total_runtime(1) == r2.total_runtime(1)

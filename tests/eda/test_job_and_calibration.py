@@ -1,0 +1,82 @@
+"""Tests for the job abstractions and calibration constants."""
+
+import dataclasses
+
+import pytest
+
+from repro.eda.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.eda.job import EDAStage, JobResult
+from repro.parallel import WorkProfile
+from repro.perf import PerfCounters
+
+
+class TestEDAStage:
+    def test_flow_order(self):
+        assert EDAStage.ordered() == [
+            EDAStage.SYNTHESIS,
+            EDAStage.PLACEMENT,
+            EDAStage.ROUTING,
+            EDAStage.STA,
+        ]
+
+    def test_display_names(self):
+        assert EDAStage.SYNTHESIS.display_name == "Synthesis"
+        assert EDAStage.STA.display_name == "STA"
+
+    def test_string_roundtrip(self):
+        assert EDAStage("routing") == EDAStage.ROUTING
+
+
+class TestJobResult:
+    def _result(self):
+        profile = WorkProfile()
+        profile.add(80.0, parallelism=1)
+        profile.add(120.0, parallelism=100)
+        return JobResult(
+            stage=EDAStage.PLACEMENT,
+            design="d",
+            profile=profile,
+            counters=PerfCounters(branches=100, branch_misses=10),
+        )
+
+    def test_runtime_and_speedup(self):
+        r = self._result()
+        assert r.runtime(1) == pytest.approx(200.0)
+        assert r.speedup(4) > 1.0
+        rts = r.runtimes()
+        assert set(rts) == {1, 2, 4, 8}
+        assert rts[1] > rts[8]
+
+    def test_summary_mentions_counters(self):
+        text = self._result().summary()
+        assert "Placement" in text
+        assert "10.0%" in text  # branch miss rate
+
+
+class TestCalibration:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.synth_sec_per_cut_merge = 1.0
+
+    def test_all_constants_positive(self):
+        for field in dataclasses.fields(Calibration):
+            value = getattr(DEFAULT_CALIBRATION, field.name)
+            assert value > 0, field.name
+
+    def test_custom_calibration_scales_runtime(self):
+        from repro.eda.synthesis import SynthesisEngine
+        from repro.netlist import benchmarks
+
+        aig = benchmarks.build("dec", 0.5)
+        base = SynthesisEngine().run(aig)
+        doubled = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            synth_sec_per_cut_merge=2 * DEFAULT_CALIBRATION.synth_sec_per_cut_merge,
+            synth_sec_per_rewrite=2 * DEFAULT_CALIBRATION.synth_sec_per_rewrite,
+            synth_sec_per_cover=2 * DEFAULT_CALIBRATION.synth_sec_per_cover,
+        )
+        slow = SynthesisEngine(calibration=doubled).run(aig)
+        assert slow.runtime(1) == pytest.approx(2 * base.runtime(1), rel=1e-6)
+
+    def test_sta_parallel_fraction_in_unit_interval(self):
+        assert 0 < DEFAULT_CALIBRATION.sta_parallel_fraction < 1

@@ -1,0 +1,144 @@
+"""Tests for the analytical placement engine."""
+
+import numpy as np
+import pytest
+
+from repro.eda.job import EDAStage
+from repro.eda.placement import PlacementEngine
+from repro.eda.synthesis import SynthesisEngine
+from repro.netlist import benchmarks
+from repro.perf import make_instrument
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return SynthesisEngine().run(benchmarks.build("router", 0.8)).artifact
+
+
+@pytest.fixture(scope="module")
+def placed(netlist):
+    return PlacementEngine(seed=1).run(netlist)
+
+
+class TestLegality:
+    def test_all_cells_placed(self, netlist, placed):
+        placement = placed.artifact
+        assert set(placement.positions) == set(netlist.instances)
+
+    def test_cells_inside_die(self, placed):
+        placement = placed.artifact
+        for name, (x, y) in placement.positions.items():
+            inst = placement.netlist.instances[name]
+            half = inst.cell.area / 2.0
+            assert -1e-6 <= x - half and x + half <= placement.die_width * 1.05, name
+            assert 0 <= y <= placement.die_height
+
+    def test_cells_on_rows(self, placed):
+        placement = placed.artifact
+        ys = {round(pos[1], 6) for pos in placement.positions.values()}
+        # every distinct y must be a row centre (uniform pitch)
+        rows = sorted(ys)
+        if len(rows) > 1:
+            pitches = np.diff(rows)
+            assert np.allclose(pitches % np.min(pitches), 0, atol=1e-6) or np.all(
+                pitches >= np.min(pitches) - 1e-9
+            )
+
+    def test_no_overlap_within_row(self, placed):
+        placement = placed.artifact
+        by_row = {}
+        for name, (x, y) in placement.positions.items():
+            by_row.setdefault(round(y, 6), []).append((x, name))
+        for row, cells in by_row.items():
+            cells.sort()
+            for (x1, n1), (x2, n2) in zip(cells, cells[1:]):
+                w1 = placement.netlist.instances[n1].cell.area
+                w2 = placement.netlist.instances[n2].cell.area
+                assert x2 - x1 >= (w1 + w2) / 2.0 - 1e-6, (row, n1, n2)
+
+
+class TestQuality:
+    def test_hpwl_beats_random_placement(self, netlist, placed):
+        """The analytical placer should beat uniform-random placement."""
+        placement = placed.artifact
+        rng = np.random.default_rng(0)
+        names = list(placement.positions)
+        random_hpwl = []
+        for _ in range(3):
+            shuffled = dict(
+                zip(
+                    names,
+                    [
+                        (
+                            float(rng.uniform(0, placement.die_width)),
+                            float(rng.uniform(0, placement.die_height)),
+                        )
+                        for _ in names
+                    ],
+                )
+            )
+            original = placement.positions
+            placement.positions = shuffled
+            random_hpwl.append(placement.total_hpwl())
+            placement.positions = original
+        assert placement.total_hpwl() < np.mean(random_hpwl)
+
+    def test_hpwl_metric_matches_artifact(self, placed):
+        assert placed.metrics["hpwl"] == pytest.approx(placed.artifact.total_hpwl())
+
+    def test_net_hpwl_nonnegative(self, placed):
+        placement = placed.artifact
+        for net in placement.netlist.nets:
+            assert placement.net_hpwl(net) >= 0
+
+
+class TestEngineBehavior:
+    def test_stage_and_runtimes(self, placed):
+        assert placed.stage == EDAStage.PLACEMENT
+        runtimes = placed.runtimes()
+        assert runtimes[1] > runtimes[2] > runtimes[4] > runtimes[8] > 0
+
+    def test_speedup_in_paper_regime(self):
+        net = SynthesisEngine().run(benchmarks.build("sparc_core", 1.0)).artifact
+        result = PlacementEngine().run(net)
+        assert 1.7 <= result.profile.speedup(8) <= 3.0  # paper: 2.32
+
+    def test_determinism(self, netlist):
+        r1 = PlacementEngine(seed=7).run(netlist)
+        r2 = PlacementEngine(seed=7).run(netlist)
+        assert r1.metrics["hpwl"] == r2.metrics["hpwl"]
+        assert r1.artifact.positions == r2.artifact.positions
+
+    def test_seed_changes_placement(self, netlist):
+        r1 = PlacementEngine(seed=1).run(netlist)
+        r2 = PlacementEngine(seed=2).run(netlist)
+        assert r1.artifact.positions != r2.artifact.positions
+
+    def test_counters_show_avx_and_cache_traffic(self, netlist):
+        inst = make_instrument(1, sample_rate=2)
+        result = PlacementEngine(seed=1).run(netlist, instrument=inst)
+        c = result.counters
+        assert c.fp_avx_ops > 0
+        assert c.avx_share > 0.05  # placement is the AVX-heavy stage
+        assert c.mem_accesses > 0
+        assert c.branch_miss_rate < 0.10  # few data-dependent branches
+
+    def test_empty_netlist_rejected(self):
+        from repro.netlist import Netlist, nangate_lite
+
+        empty = Netlist("empty", nangate_lite())
+        with pytest.raises(ValueError):
+            PlacementEngine().run(empty)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementEngine(target_density=0.01)
+
+    def test_port_positions_on_boundary(self, placed):
+        placement = placed.artifact
+        for name in placement.netlist.input_ports:
+            x, _y = placement.port_positions[name]
+            assert x == 0.0
+        for name in placement.netlist.output_ports:
+            x, _y = placement.port_positions[name]
+            assert x == pytest.approx(placement.die_width)

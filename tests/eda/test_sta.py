@@ -1,0 +1,167 @@
+"""Tests for the static timing analysis engine."""
+
+import math
+
+import pytest
+
+from repro.eda.job import EDAStage
+from repro.eda.placement import Placement, PlacementEngine
+from repro.eda.sta import STAEngine, WIRE_DELAY_PER_UM
+from repro.eda.synthesis import SynthesisEngine
+from repro.netlist import Netlist, benchmarks, nangate_lite
+from repro.perf import make_instrument
+
+
+def chain_placement(n_inverters=3, spacing=2.0):
+    """A hand-placed inverter chain with known geometry."""
+    lib = nangate_lite()
+    net = Netlist("chain", lib)
+    net.add_input_port("a")
+    prev = "a"
+    for i in range(n_inverters):
+        net.add_instance(f"g{i}", "INV_X1", {"A": prev, "Y": f"n{i}"})
+        prev = f"n{i}"
+    net.add_output_port("z", prev)
+    positions = {f"g{i}": ((i + 1) * spacing, 0.5) for i in range(n_inverters)}
+    placement = Placement(
+        netlist=net,
+        positions=positions,
+        port_positions={"a": (0.0, 0.5), "z": ((n_inverters + 1) * spacing, 0.5)},
+        die_width=(n_inverters + 1) * spacing,
+        die_height=1.0,
+    )
+    return placement
+
+
+class TestManualTiming:
+    def test_inverter_chain_arrival(self):
+        """Arrival along a hand-placed chain matches the closed form."""
+        placement = chain_placement(n_inverters=3, spacing=2.0)
+        lib = placement.netlist.library
+        inv = lib.cell("INV_X1")
+        result = STAEngine(clock_margin=0.1).run(placement)
+        report = result.artifact
+
+        # Each net spans exactly `spacing` microns horizontally.
+        wire_delay = WIRE_DELAY_PER_UM * 2.0
+        load_internal = inv.input_cap + lib.wire_cap_per_um * 2.0
+        expected = 0.0
+        for i in range(3):
+            load = load_internal if i < 2 else lib.wire_cap_per_um * 2.0
+            expected += wire_delay + inv.delay(load)
+        assert report.arrival["g2"] == pytest.approx(expected)
+        assert report.max_arrival == pytest.approx(expected + wire_delay)
+
+    def test_positive_margin_meets_timing(self):
+        placement = chain_placement()
+        report = STAEngine(clock_margin=0.1).run(placement).artifact
+        assert report.met
+        assert report.wns >= 0
+        assert report.tns == 0
+
+    def test_negative_margin_creates_violations(self):
+        placement = chain_placement()
+        report = STAEngine(clock_margin=-0.2).run(placement).artifact
+        assert not report.met
+        assert report.wns < 0
+        assert report.tns < 0
+
+    def test_critical_path_walks_the_chain(self):
+        placement = chain_placement(n_inverters=3)
+        report = STAEngine().run(placement).artifact
+        assert report.critical_path[-1] == "z"
+        assert "g2" in report.critical_path
+        assert "g0" in report.critical_path
+
+    def test_slack_consistency(self):
+        """slack = required - arrival, and WNS is the minimum slack."""
+        placement = chain_placement()
+        report = STAEngine(clock_margin=0.05).run(placement).artifact
+        finite = [s for s in report.slack.values() if math.isfinite(s)]
+        assert report.wns == pytest.approx(min(finite))
+
+
+class TestOnRealDesign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        net = SynthesisEngine().run(benchmarks.build("ctrl", 0.8)).artifact
+        placement = PlacementEngine(seed=0).run(net).artifact
+        return STAEngine().run(placement)
+
+    def test_stage_and_arcs(self, result):
+        assert result.stage == EDAStage.STA
+        # forward + backward pass: every instance input visited twice
+        net = result.artifact
+        assert result.metrics["arcs"] > 0
+
+    def test_all_instances_have_arrival(self, result):
+        report = result.artifact
+        placement_netlist = None  # arrival covers ports + instances
+        assert len(report.arrival) > 0
+        assert all(math.isfinite(v) for v in report.arrival.values())
+
+    def test_clock_period_derivation(self, result):
+        report = result.artifact
+        assert report.clock_period == pytest.approx(1.1 * report.max_arrival)
+
+    def test_runtime_scaling_regime(self, result):
+        """STA scales modestly (paper: ~2.2x at 8 vCPUs)."""
+        assert 1.8 <= result.profile.speedup(8) <= 2.7
+
+    def test_counters_sta_signature(self):
+        """STA: AVX present (second to placement), low cache misses.
+
+        Uses a characterization-sized design — on tiny designs the stream
+        is all compulsory misses and the rate is meaningless.
+        """
+        net = SynthesisEngine().run(benchmarks.build("sparc_core", 1.0)).artifact
+        placement = PlacementEngine(seed=0).run(net).artifact
+        inst = make_instrument(1, sample_rate=1)
+        result = STAEngine().run(placement, instrument=inst)
+        c = result.counters
+        assert c.fp_avx_ops > 0
+        assert 0.02 < c.avx_share < 0.25
+        assert c.cache_miss_rate < 0.40
+
+
+class TestHoldAnalysis:
+    def test_min_arrival_leq_max(self):
+        placement = chain_placement(n_inverters=4)
+        report = STAEngine().run(placement).artifact
+        for key, t_min in report.min_arrival.items():
+            assert t_min <= report.arrival[key] + 1e-9
+
+    def test_chain_min_equals_max(self):
+        """A single path has identical min and max arrivals."""
+        placement = chain_placement(n_inverters=3)
+        report = STAEngine().run(placement).artifact
+        assert report.min_arrival["g2"] == pytest.approx(report.arrival["g2"])
+
+    def test_hold_violation_with_large_requirement(self):
+        placement = chain_placement(n_inverters=2)
+        ok = STAEngine(hold_time=0.0).run(placement).artifact
+        assert ok.hold_met
+        bad = STAEngine(hold_time=1e9).run(placement).artifact
+        assert not bad.hold_met
+        assert bad.hold_wns < 0
+
+    def test_reconvergent_paths_min_lt_max(self):
+        """A short bypass path gives an earlier min arrival than max."""
+        lib = nangate_lite()
+        net = Netlist("reconv", lib)
+        net.add_input_port("a")
+        net.add_input_port("b")
+        net.add_instance("slow1", "INV_X1", {"A": "a", "Y": "n1"})
+        net.add_instance("slow2", "INV_X1", {"A": "n1", "Y": "n2"})
+        net.add_instance("join", "AND2_X1", {"A": "n2", "B": "b", "Y": "o"})
+        net.add_output_port("z", "o")
+        positions = {"slow1": (1.0, 0.5), "slow2": (2.0, 0.5), "join": (3.0, 0.5)}
+        placement = Placement(
+            netlist=net,
+            positions=positions,
+            port_positions={"a": (0.0, 0.5), "b": (0.0, 0.5), "z": (4.0, 0.5)},
+            die_width=4.0,
+            die_height=1.0,
+        )
+        report = STAEngine().run(placement).artifact
+        assert report.min_arrival["join"] < report.arrival["join"]

@@ -1,0 +1,173 @@
+"""Tests for the synthesis engine: passes, mapping, equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eda.job import EDAStage
+from repro.eda.synthesis import (
+    DEFAULT_RECIPE,
+    SynthesisEngine,
+    TechnologyMapper,
+    apply_recipe,
+    balance,
+    recipe_variants,
+    restructure,
+)
+from repro.netlist import benchmarks
+from repro.netlist.aig import AIG, lit_not
+from repro.perf import make_instrument
+
+DESIGNS = ["adder", "router", "ctrl", "voter", "int2float"]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SynthesisEngine()
+
+
+class TestBalance:
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_balance_preserves_function(self, name):
+        aig = benchmarks.build(name, 0.5)
+        balanced = balance(aig)
+        assert (
+            balanced.random_simulation_signature(64, 3)
+            == aig.random_simulation_signature(64, 3)
+        )
+
+    def test_balance_reduces_chain_depth(self):
+        """A linear AND chain becomes a logarithmic tree."""
+        aig = AIG()
+        ins = [aig.add_input() for _ in range(16)]
+        acc = ins[0]
+        for x in ins[1:]:
+            acc = aig.add_and(acc, x)
+        aig.add_output(acc)
+        assert aig.depth() == 15
+        balanced = balance(aig)
+        assert balanced.depth() == 4  # ceil(log2(16))
+
+    def test_balance_keeps_interface(self):
+        aig = benchmarks.build("dec", 0.5)
+        balanced = balance(aig)
+        assert balanced.input_names == aig.input_names
+        assert balanced.output_names == aig.output_names
+
+
+class TestRestructure:
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_restructure_preserves_function(self, name):
+        aig = benchmarks.build(name, 0.5)
+        for seed in (0, 1):
+            new = restructure(aig, seed=seed)
+            assert (
+                new.random_simulation_signature(64, 3)
+                == aig.random_simulation_signature(64, 3)
+            )
+
+    def test_keep_only_improved_never_grows(self):
+        aig = benchmarks.build("ctrl", 0.6)
+        new = restructure(aig, seed=3, keep_only_improved=True)
+        assert new.num_ands <= aig.num_ands
+
+    def test_variant_mode_changes_structure(self):
+        aig = benchmarks.build("mem_ctrl", 0.3)
+        v1 = restructure(aig, seed=1, keep_only_improved=False)
+        v2 = restructure(aig, seed=2, keep_only_improved=False)
+        # same function, (almost surely) different structure
+        assert v1.random_simulation_signature(64, 5) == v2.random_simulation_signature(64, 5)
+        assert v1.num_ands != v2.num_ands or v1.depth() != v2.depth()
+
+    def test_recipe_tokens(self):
+        aig = benchmarks.build("router", 0.4)
+        out = apply_recipe(aig, ("b", "rw", "rf", "shuffle"), seed=1)
+        assert (
+            out.random_simulation_signature(64, 2)
+            == aig.random_simulation_signature(64, 2)
+        )
+        with pytest.raises(ValueError):
+            apply_recipe(aig, ("unknown_pass",))
+
+    def test_recipe_variants_unique(self):
+        variants = recipe_variants(25, seed=0)
+        assert len(variants) == 25
+        assert len(set(variants)) == 25
+
+
+class TestMapping:
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_mapped_netlist_is_equivalent(self, name):
+        aig = benchmarks.build(name, 0.5)
+        netlist, _stats = TechnologyMapper().map(aig)
+        netlist.validate()
+        assert (
+            netlist.random_simulation_signature(64, 3)
+            == aig.random_simulation_signature(64, 3)
+        )
+
+    def test_constant_output_mapped(self):
+        aig = AIG("const")
+        a = aig.add_input("a")
+        aig.add_output(aig.add_and(a, lit_not(a)), "zero")
+        aig.add_output(lit_not(aig.add_and(a, lit_not(a))), "one")
+        aig.add_output(a, "pass")
+        netlist, _ = TechnologyMapper().map(aig)
+        out = netlist.simulate({"a": 0b01}, width=2)
+        assert out["zero"] == 0
+        assert out["one"] == 0b11
+        assert out["pass"] == 0b01
+
+    def test_mapping_stats_populated(self):
+        aig = benchmarks.build("voter", 0.5)
+        _netlist, stats = TechnologyMapper().map(aig)
+        assert stats.cut_merges > 0
+        assert stats.match_lookups > 0
+        assert stats.covered_nodes > 0
+
+    def test_mapped_area_reasonable(self):
+        """Mapping should not blow the design up into 1 cell per AND."""
+        aig = benchmarks.build("adder", 0.5)
+        netlist, _ = TechnologyMapper().map(aig)
+        assert netlist.num_instances < aig.num_ands
+
+
+class TestEngine:
+    def test_job_result_fields(self, engine):
+        aig = benchmarks.build("ctrl", 0.5)
+        result = engine.run(aig)
+        assert result.stage == EDAStage.SYNTHESIS
+        assert result.design == aig.name
+        assert result.runtime(1) > result.runtime(8) > 0
+        assert result.metrics["instances"] > 0
+        assert result.artifact.num_instances == result.metrics["instances"]
+
+    def test_speedup_in_paper_regime(self, engine):
+        """Synthesis scales poorly (paper: ~1.8x at 8 vCPUs)."""
+        aig = benchmarks.build("sparc_core", 0.8)
+        result = engine.run(aig)
+        assert 1.3 <= result.speedup(8) <= 2.6
+
+    def test_counters_populated_when_instrumented(self, engine):
+        aig = benchmarks.build("router", 0.5)
+        inst = make_instrument(1)
+        result = engine.run(aig, instrument=inst)
+        c = result.counters
+        assert c.instructions > 0
+        assert c.branches > 0
+        assert c.mem_accesses > 0
+        assert c.fp_avx_ops == 0  # synthesis is not FP-heavy
+
+    def test_determinism(self, engine):
+        aig = benchmarks.build("voter", 0.5)
+        r1 = engine.run(aig, seed=5)
+        r2 = engine.run(aig, seed=5)
+        assert r1.runtime(1) == r2.runtime(1)
+        assert r1.metrics == r2.metrics
+
+    def test_longer_recipe_costs_more_runtime(self, engine):
+        aig = benchmarks.build("mem_ctrl", 0.3)
+        r1 = engine.run(aig, recipe=("balance",))
+        r2 = engine.run(aig, recipe=DEFAULT_RECIPE)
+        assert r2.runtime(1) > r1.runtime(1)
+        # area-recovery passes never grow the graph
+        assert r2.metrics["optimized_ands"] <= r1.metrics["optimized_ands"]

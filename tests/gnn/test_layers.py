@@ -1,0 +1,150 @@
+"""Gradient checks and behavior tests for the GNN layers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn.layers import DenseLayer, GCNLayer, Parameter, Readout
+
+
+def finite_diff_check(params, loss_fn, eps=1e-6, samples=6, tol=1e-4):
+    """Compare analytic grads (already accumulated) to finite differences."""
+    rng = np.random.default_rng(0)
+    worst = 0.0
+    for p in params:
+        flat = p.value.ravel()
+        gflat = p.grad.ravel()
+        idxs = rng.choice(flat.size, size=min(samples, flat.size), replace=False)
+        for i in idxs:
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp = loss_fn()
+            flat[i] = orig - eps
+            lm = loss_fn()
+            flat[i] = orig
+            numeric = (lp - lm) / (2 * eps)
+            denom = abs(numeric) + abs(gflat[i]) + 1e-9
+            worst = max(worst, abs(numeric - gflat[i]) / denom)
+    assert worst < tol, worst
+
+
+@pytest.fixture()
+def small_graph():
+    rng = np.random.default_rng(1)
+    n, f = 7, 4
+    h = rng.normal(size=(n, f))
+    edges = [(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (3, 6)]
+    import numpy as np2
+
+    rows = [d for _s, d in edges]
+    cols = [s for s, _d in edges]
+    indeg = np.bincount(rows, minlength=n).astype(float)
+    vals = [1.0 / indeg[d] for d in rows]
+    a_hat = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    return h, a_hat
+
+
+class TestGCNLayer:
+    def test_forward_shape(self, small_graph):
+        h, a_hat = small_graph
+        layer = GCNLayer(4, 5, np.random.default_rng(0))
+        out = layer.forward(h, a_hat)
+        assert out.shape == (7, 5)
+        assert np.all(out >= 0)  # relu
+
+    def test_gradcheck(self, small_graph):
+        h, a_hat = small_graph
+        layer = GCNLayer(4, 3, np.random.default_rng(0))
+        target = np.random.default_rng(2).normal(size=(7, 3))
+
+        def loss():
+            out = layer.forward(h, a_hat)
+            return float(np.sum((out - target) ** 2))
+
+        out = layer.forward(h, a_hat)
+        for p in layer.parameters:
+            p.zero_grad()
+        layer.backward(2.0 * (out - target))
+        finite_diff_check(layer.parameters, loss)
+
+    def test_input_gradient(self, small_graph):
+        """Gradient w.r.t. the input H is exact too."""
+        h, a_hat = small_graph
+        layer = GCNLayer(4, 3, np.random.default_rng(0), activation="linear")
+        target = np.zeros((7, 3))
+        out = layer.forward(h, a_hat)
+        dh = layer.backward(2.0 * (out - target))
+        eps = 1e-6
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            i = rng.integers(h.shape[0])
+            j = rng.integers(h.shape[1])
+            h2 = h.copy()
+            h2[i, j] += eps
+            lp = float(np.sum(layer.forward(h2, a_hat) ** 2))
+            h2[i, j] -= 2 * eps
+            lm = float(np.sum(layer.forward(h2, a_hat) ** 2))
+            numeric = (lp - lm) / (2 * eps)
+            assert numeric == pytest.approx(dh[i, j], rel=1e-3, abs=1e-6)
+
+    def test_bad_activation(self):
+        with pytest.raises(ValueError):
+            GCNLayer(2, 2, np.random.default_rng(0), activation="tanh")
+
+
+class TestDenseLayer:
+    def test_gradcheck(self):
+        layer = DenseLayer(5, 3, np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=5)
+        target = np.array([1.0, -1.0, 0.5])
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        for p in layer.parameters:
+            p.zero_grad()
+        layer.backward(2.0 * (out - target))
+        finite_diff_check(layer.parameters, loss)
+
+    def test_linear_activation_passes_negative(self):
+        layer = DenseLayer(2, 2, np.random.default_rng(0), activation="linear")
+        layer.weight.value[:] = -np.eye(2)
+        layer.bias.value[:] = 0
+        out = layer.forward(np.array([1.0, 2.0]))
+        assert out[0] < 0
+
+
+class TestReadout:
+    def test_sum_and_mean(self):
+        h = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(Readout("sum").forward(h), [4.0, 6.0])
+        assert np.allclose(Readout("mean").forward(h), [2.0, 3.0])
+
+    def test_backward_shapes(self):
+        h = np.ones((5, 3))
+        r = Readout("mean")
+        r.forward(h)
+        grad = r.backward(np.array([1.0, 2.0, 3.0]))
+        assert grad.shape == (5, 3)
+        assert np.allclose(grad[0], [0.2, 0.4, 0.6])
+
+    def test_sum_backward_tiles(self):
+        h = np.ones((4, 2))
+        r = Readout("sum")
+        r.forward(h)
+        grad = r.backward(np.array([1.0, 2.0]))
+        assert np.allclose(grad, np.tile([1.0, 2.0], (4, 1)))
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            Readout("max")
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+        assert p.shape == (2, 2)

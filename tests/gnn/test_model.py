@@ -1,0 +1,110 @@
+"""Tests for the RuntimeGCN model (architecture of Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import RuntimeGCN
+from repro.gnn.graph import PreparedGraph, normalized_adjacency
+from repro.netlist import aig_to_graph, benchmarks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return PreparedGraph(aig_to_graph(benchmarks.build("ctrl", 0.3)))
+
+
+class TestArchitecture:
+    def test_paper_defaults(self):
+        model = RuntimeGCN(feature_dim=8)
+        assert model.gcn1.weight.shape == (8, 256)
+        assert model.gcn2.weight.shape == (256, 128)
+        assert model.fc.weight.shape == (128 + model.meta_dim, 128)
+        assert model.head.weight.shape == (128, 4)
+
+    def test_forward_output_shape(self, graph):
+        model = RuntimeGCN(feature_dim=graph.features.shape[1], hidden1=16, hidden2=8, fc_units=8)
+        out = model.forward(graph)
+        assert out.shape == (4,)
+        assert np.all(np.isfinite(out))
+
+    def test_num_parameters(self):
+        model = RuntimeGCN(feature_dim=8, hidden1=4, hidden2=3, fc_units=2)
+        # gcn1: 8*4*2 + 4; gcn2: 4*3*2 + 3; fc: (3+meta)*2 + 2; head: 2*4 + 4
+        meta = model.meta_dim
+        expected = (8 * 4 * 2 + 4) + (4 * 3 * 2 + 3) + ((3 + meta) * 2 + 2) + (2 * 4 + 4)
+        assert model.num_parameters() == expected
+
+
+class TestGradients:
+    def test_full_model_gradcheck(self, graph):
+        model = RuntimeGCN(
+            feature_dim=graph.features.shape[1], hidden1=10, hidden2=6, fc_units=5, seed=3
+        )
+        target = np.array([1.0, 0.5, 0.2, 0.1])
+
+        def loss():
+            return float(np.mean((model.forward(graph) - target) ** 2))
+
+        pred = model.forward(graph)
+        model.zero_grad()
+        model.backward(2.0 * (pred - target) / 4)
+        rng = np.random.default_rng(0)
+        for p in model.parameters:
+            flat = p.value.ravel()
+            gflat = p.grad.ravel()
+            for i in rng.choice(flat.size, size=min(4, flat.size), replace=False):
+                orig = flat[i]
+                eps = 1e-6
+                flat[i] = orig + eps
+                lp = loss()
+                flat[i] = orig - eps
+                lm = loss()
+                flat[i] = orig
+                numeric = (lp - lm) / (2 * eps)
+                denom = abs(numeric) + abs(gflat[i]) + 1e-9
+                assert abs(numeric - gflat[i]) / denom < 1e-4
+
+
+class TestStateDict:
+    def test_roundtrip(self, graph):
+        m1 = RuntimeGCN(feature_dim=graph.features.shape[1], hidden1=8, hidden2=4, fc_units=4, seed=1)
+        m2 = RuntimeGCN(feature_dim=graph.features.shape[1], hidden1=8, hidden2=4, fc_units=4, seed=2)
+        assert not np.allclose(m1.forward(graph), m2.forward(graph))
+        m2.load_state_dict(m1.state_dict())
+        assert np.allclose(m1.forward(graph), m2.forward(graph))
+
+    def test_shape_mismatch_rejected(self, graph):
+        m1 = RuntimeGCN(feature_dim=8, hidden1=8, hidden2=4, fc_units=4)
+        m2 = RuntimeGCN(feature_dim=8, hidden1=6, hidden2=4, fc_units=4)
+        with pytest.raises(ValueError):
+            m2.load_state_dict(m1.state_dict())
+
+
+class TestNormalizedAdjacency:
+    def test_rows_average_neighbors(self):
+        sample = aig_to_graph(benchmarks.build("adder", 0.2))
+        a_hat = normalized_adjacency(sample)
+        sums = np.asarray(a_hat.sum(axis=1)).ravel()
+        import numpy as np2
+
+        indeg = np.bincount(sample.edges[:, 1], minlength=sample.num_nodes)
+        for v in range(sample.num_nodes):
+            if indeg[v] > 0:
+                assert sums[v] == pytest.approx(1.0)
+            else:
+                assert sums[v] == 0.0
+
+    def test_direction_preserved(self):
+        """AND nodes aggregate from fanins, not vice versa (DAG property)."""
+        sample = aig_to_graph(benchmarks.build("adder", 0.2))
+        a_hat = normalized_adjacency(sample).toarray()
+        # inputs have zero in-degree -> zero rows
+        aig = benchmarks.build("adder", 0.2)
+        for node in aig.inputs:
+            assert np.all(a_hat[node] == 0)
+
+    def test_meta_vector(self):
+        g = PreparedGraph(aig_to_graph(benchmarks.build("ctrl", 0.3)))
+        assert g.meta_vector.shape == (5,)
+        assert g.meta_vector[0] == pytest.approx(np.log(g.num_nodes))
+        assert g.meta_vector[3] > 0  # max fanout present

@@ -1,0 +1,149 @@
+"""Tests for the optimizers, dataset handling, and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    Adam,
+    RuntimeGCN,
+    RuntimeSample,
+    SGD,
+    TrainConfig,
+    evaluate,
+    split_by_design,
+    train,
+)
+from repro.gnn.layers import Parameter
+from repro.netlist import aig_to_graph, benchmarks
+
+
+def make_samples(designs=("ctrl", "adder", "voter", "router", "dec"), variants=3):
+    """Tiny synthetic dataset: runtime = size-derived closed form."""
+    samples = []
+    for design in designs:
+        for v in range(variants):
+            aig = benchmarks.build(design, 0.2 + 0.1 * v)
+            graph = aig_to_graph(aig)
+            base = graph.num_nodes ** 1.2
+            runtimes = np.array([base, base / 1.7, base / 2.6, base / 3.2])
+            samples.append(RuntimeSample(graph=graph, runtimes=runtimes, design=design))
+    return samples
+
+
+class TestOptimizers:
+    def test_adam_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad[:] = 2 * p.value
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-2)
+
+    def test_sgd_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad[:] = 2.0
+        opt.step()
+        assert p.value[0] == pytest.approx(0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        opt = Adam([p])
+        p.grad += 1
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0)
+        with pytest.raises(ValueError):
+            SGD([], lr=-1)
+
+
+class TestDataset:
+    def test_runtime_sample_validation(self):
+        graph = aig_to_graph(benchmarks.build("ctrl", 0.2))
+        with pytest.raises(ValueError):
+            RuntimeSample(graph=graph, runtimes=np.array([1.0, 2.0]), design="x")
+        with pytest.raises(ValueError):
+            RuntimeSample(graph=graph, runtimes=np.array([1, 2, 3, -1.0]), design="x")
+
+    def test_speedups(self):
+        graph = aig_to_graph(benchmarks.build("ctrl", 0.2))
+        s = RuntimeSample(
+            graph=graph, runtimes=np.array([100.0, 50.0, 25.0, 12.5]), design="x"
+        )
+        assert np.allclose(s.speedups, [1, 2, 4, 8])
+
+    def test_split_by_design_no_leakage(self):
+        samples = make_samples()
+        train_set, test_set = split_by_design(samples, test_fraction=0.2, seed=1)
+        train_designs = {s.design for s in train_set}
+        test_designs = {s.design for s in test_set}
+        assert not (train_designs & test_designs)
+        assert len(train_set) + len(test_set) == len(samples)
+
+    def test_split_deterministic(self):
+        samples = make_samples()
+        a = split_by_design(samples, 0.2, seed=3)
+        b = split_by_design(samples, 0.2, seed=3)
+        assert [s.design for s in a[1]] == [s.design for s in b[1]]
+
+    def test_split_needs_two_designs(self):
+        samples = make_samples(designs=("ctrl",))
+        with pytest.raises(ValueError):
+            split_by_design(samples, 0.2)
+
+    def test_split_fraction_validation(self):
+        with pytest.raises(ValueError):
+            split_by_design(make_samples(), 0.0)
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self):
+        samples = make_samples()
+        model = RuntimeGCN(
+            feature_dim=samples[0].graph.feature_dim, hidden1=16, hidden2=8, fc_units=8
+        )
+        result = train(model, samples, TrainConfig(epochs=30, lr=3e-3))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_learns_size_law(self):
+        """On a size-driven synthetic task the model reaches low error."""
+        samples = make_samples(variants=4)
+        model = RuntimeGCN(
+            feature_dim=samples[0].graph.feature_dim, hidden1=24, hidden2=12, fc_units=8
+        )
+        result = train(model, samples, TrainConfig(epochs=120, lr=3e-3))
+        ev = evaluate(model, samples, result.target_offset, result.target_std)
+        assert ev.mean_error < 0.12
+        assert ev.accuracy > 88.0
+
+    def test_empty_training_set_rejected(self):
+        model = RuntimeGCN(feature_dim=8, hidden1=4, hidden2=4, fc_units=4)
+        with pytest.raises(ValueError):
+            train(model, [])
+        with pytest.raises(ValueError):
+            evaluate(model, [])
+
+    def test_error_histogram(self):
+        samples = make_samples()
+        model = RuntimeGCN(
+            feature_dim=samples[0].graph.feature_dim, hidden1=8, hidden2=4, fc_units=4
+        )
+        result = train(model, samples, TrainConfig(epochs=5, lr=1e-3))
+        ev = evaluate(model, samples, result.target_offset, result.target_std)
+        hist = ev.error_histogram([0.0, 0.1, 0.2, 0.5, 1.0, 10.0])
+        assert sum(hist.values()) == len(samples)
+        assert all("%" in label for label in hist)
+
+    def test_per_output_errors_shape(self):
+        samples = make_samples()
+        model = RuntimeGCN(
+            feature_dim=samples[0].graph.feature_dim, hidden1=8, hidden2=4, fc_units=4
+        )
+        result = train(model, samples, TrainConfig(epochs=2, lr=1e-3))
+        ev = evaluate(model, samples, result.target_offset, result.target_std)
+        assert ev.per_output_error.shape == (len(samples), 4)
+        assert ev.predictions.shape == (len(samples), 4)

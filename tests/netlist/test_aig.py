@@ -1,0 +1,315 @@
+"""Unit and property tests for the AIG data structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.aig import (
+    AIG,
+    CONST_FALSE,
+    CONST_TRUE,
+    lit,
+    lit_is_complemented,
+    lit_node,
+    lit_not,
+    lit_regular,
+)
+
+
+class TestLiteralHelpers:
+    def test_lit_roundtrip(self):
+        assert lit(5) == 10
+        assert lit(5, True) == 11
+        assert lit_node(11) == 5
+        assert lit_is_complemented(11)
+        assert not lit_is_complemented(10)
+
+    def test_lit_not_is_involution(self):
+        for literal in range(20):
+            assert lit_not(lit_not(literal)) == literal
+            assert lit_not(literal) != literal
+
+    def test_lit_regular_strips_complement(self):
+        assert lit_regular(11) == 10
+        assert lit_regular(10) == 10
+
+    def test_constants(self):
+        assert CONST_TRUE == lit_not(CONST_FALSE)
+
+
+class TestConstruction:
+    def test_empty_aig(self):
+        aig = AIG("empty")
+        assert aig.size == 1  # constant node
+        assert aig.num_inputs == 0
+        assert aig.num_ands == 0
+        assert aig.depth() == 0
+
+    def test_add_input_names(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input()
+        assert aig.input_names == ["a", "pi1"]
+        assert lit_node(a) != lit_node(b)
+
+    def test_and_constant_propagation(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.add_and(a, CONST_FALSE) == CONST_FALSE
+        assert aig.add_and(a, CONST_TRUE) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, lit_not(a)) == CONST_FALSE
+        assert aig.num_ands == 0
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        x = aig.add_and(a, b)
+        y = aig.add_and(b, a)  # commuted
+        assert x == y
+        assert aig.num_ands == 1
+
+    def test_output_bookkeeping(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        idx = aig.add_output(lit_not(a), "na")
+        assert idx == 0
+        assert aig.outputs == [lit_not(a)]
+        assert aig.output_names == ["na"]
+
+    def test_bad_literal_rejected(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            aig.add_and(2, 99)
+        with pytest.raises(ValueError):
+            aig.add_output(99)
+
+
+class TestDerivedOperators:
+    def test_xor_truth_table(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.add_xor(a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                out = aig.simulate([va, vb], width=1)[0]
+                assert out == (va ^ vb)
+
+    def test_mux_truth_table(self):
+        aig = AIG()
+        s = aig.add_input()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.add_mux(s, a, b))
+        for vs in (0, 1):
+            for va in (0, 1):
+                for vb in (0, 1):
+                    out = aig.simulate([vs, va, vb], width=1)[0]
+                    assert out == (va if vs else vb)
+
+    def test_maj_truth_table(self):
+        aig = AIG()
+        ins = [aig.add_input() for _ in range(3)]
+        aig.add_output(aig.add_maj(*ins))
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            out = aig.simulate(bits, width=1)[0]
+            assert out == (1 if sum(bits) >= 2 else 0)
+
+
+class TestStructure:
+    def _xor_chain(self, n):
+        aig = AIG()
+        ins = [aig.add_input() for _ in range(n)]
+        acc = ins[0]
+        for x in ins[1:]:
+            acc = aig.add_xor(acc, x)
+        aig.add_output(acc)
+        return aig
+
+    def test_levels_monotone(self):
+        aig = self._xor_chain(5)
+        levels = aig.levels()
+        for node in aig.and_nodes():
+            a, b = aig.fanins(node)
+            assert levels[node] == 1 + max(levels[lit_node(a)], levels[lit_node(b)])
+
+    def test_depth_of_chain(self):
+        aig = self._xor_chain(5)
+        assert aig.depth() == (5 - 1) * 2  # each xor adds 2 levels
+
+    def test_fanout_counts_match_edges(self):
+        aig = self._xor_chain(6)
+        fanout = aig.fanout_counts()
+        edge_targets = sum(fanout)
+        # every AND contributes two fanin references; outputs one each
+        assert edge_targets == 2 * aig.num_ands + aig.num_outputs
+
+    def test_transitive_fanin_cone_topological(self):
+        aig = self._xor_chain(4)
+        cone = aig.transitive_fanin_cone(aig.outputs[0])
+        seen = set()
+        for node in cone:
+            if aig.is_and(node):
+                a, b = aig.fanins(node)
+                assert lit_node(a) in seen and lit_node(b) in seen
+            seen.add(node)
+
+    def test_cleanup_removes_dangling(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        keep = aig.add_and(a, b)
+        aig.add_and(a, lit_not(b))  # dangling
+        aig.add_output(keep)
+        cleaned = aig.cleanup()
+        assert cleaned.num_ands == 1
+        assert cleaned.num_inputs == 2  # interface preserved
+        assert cleaned.random_simulation_signature(32, 7) == aig.random_simulation_signature(32, 7)
+
+    def test_copy_is_independent(self):
+        aig = self._xor_chain(3)
+        clone = aig.copy()
+        clone.add_output(CONST_TRUE)
+        assert clone.num_outputs == aig.num_outputs + 1
+
+
+class TestSimulation:
+    def test_simulation_width_mask(self):
+        aig = AIG()
+        a = aig.add_input()
+        aig.add_output(lit_not(a))
+        out = aig.simulate([0], width=4)[0]
+        assert out == 0b1111
+
+    def test_wrong_stimulus_count(self):
+        aig = AIG()
+        aig.add_input()
+        with pytest.raises(ValueError):
+            aig.simulate([1, 0])
+
+    def test_simulate_pattern(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.add_and(a, b))
+        assert aig.simulate_pattern([True, True]) == [True]
+        assert aig.simulate_pattern([True, False]) == [False]
+
+    def test_signature_deterministic(self):
+        aig = self_build = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.add_or(a, b))
+        assert aig.random_simulation_signature(64, 5) == aig.random_simulation_signature(64, 5)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests: random AIGs behave like their boolean semantics.
+# ---------------------------------------------------------------------------
+@st.composite
+def random_aig_ops(draw):
+    """A random program of AIG operations plus its expected semantics."""
+    num_inputs = draw(st.integers(min_value=1, max_value=5))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["and", "or", "xor"]),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+                st.booleans(),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    return num_inputs, ops
+
+
+@given(random_aig_ops())
+@settings(max_examples=60, deadline=None)
+def test_aig_matches_python_semantics(program):
+    num_inputs, ops = program
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(num_inputs)]
+
+    def eval_program(bits):
+        values = list(bits)
+        for op, i, j, ni, nj in ops:
+            x = values[i % len(values)]
+            y = values[j % len(values)]
+            if ni:
+                x = not x
+            if nj:
+                y = not y
+            if op == "and":
+                values.append(x and y)
+            elif op == "or":
+                values.append(x or y)
+            else:
+                values.append(x != y)
+        return values[-1]
+
+    for op, i, j, ni, nj in ops:
+        x = lits[i % len(lits)]
+        y = lits[j % len(lits)]
+        if ni:
+            x = lit_not(x)
+        if nj:
+            y = lit_not(y)
+        if op == "and":
+            lits.append(aig.add_and(x, y))
+        elif op == "or":
+            lits.append(aig.add_or(x, y))
+        else:
+            lits.append(aig.add_xor(x, y))
+    aig.add_output(lits[-1])
+
+    for pattern in range(1 << num_inputs):
+        bits = [bool((pattern >> k) & 1) for k in range(num_inputs)]
+        expected = eval_program(bits)
+        assert aig.simulate_pattern(bits) == [expected]
+
+
+@given(random_aig_ops())
+@settings(max_examples=40, deadline=None)
+def test_strashing_no_duplicate_and_nodes(program):
+    num_inputs, ops = program
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(num_inputs)]
+    for op, i, j, ni, nj in ops:
+        x = lits[i % len(lits)] ^ (1 if ni else 0)
+        y = lits[j % len(lits)] ^ (1 if nj else 0)
+        if op == "and":
+            lits.append(aig.add_and(x, y))
+        elif op == "or":
+            lits.append(aig.add_or(x, y))
+        else:
+            lits.append(aig.add_xor(x, y))
+    seen = set()
+    for node in aig.and_nodes():
+        key = aig.fanins(node)
+        assert key not in seen, "structural hashing violated"
+        seen.add(key)
+        # no trivial ANDs survive construction
+        a, b = key
+        assert a != b and a != lit_not(b)
+        assert lit_node(a) != 0
+
+
+@given(random_aig_ops())
+@settings(max_examples=30, deadline=None)
+def test_cleanup_preserves_function(program):
+    num_inputs, ops = program
+    aig = AIG()
+    lits = [aig.add_input() for _ in range(num_inputs)]
+    for op, i, j, ni, nj in ops:
+        x = lits[i % len(lits)] ^ (1 if ni else 0)
+        y = lits[j % len(lits)] ^ (1 if nj else 0)
+        lits.append(aig.add_and(x, y) if op == "and" else aig.add_or(x, y))
+    aig.add_output(lits[len(lits) // 2])
+    cleaned = aig.cleanup()
+    assert cleaned.num_ands <= aig.num_ands
+    assert cleaned.random_simulation_signature(64, 3) == aig.random_simulation_signature(64, 3)

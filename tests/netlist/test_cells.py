@@ -1,0 +1,145 @@
+"""Tests for the liberty-lite cell library and boolean matching."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.cells import (
+    Library,
+    nangate_lite,
+    negate_truth_table,
+    permute_truth_table,
+    truth_table_ones,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate_lite()
+
+
+class TestTruthTableHelpers:
+    def test_ones_count(self):
+        assert truth_table_ones(0b1000, 2) == 1
+        assert truth_table_ones(0b1111, 2) == 4
+
+    def test_negate_is_involution(self):
+        for n in (1, 2, 3):
+            for t in range(1 << (1 << n)):
+                assert negate_truth_table(negate_truth_table(t, n), n) == t
+
+    def test_permute_identity(self):
+        assert permute_truth_table(0b0110, 2, (0, 1)) == 0b0110
+
+    def test_permute_swap_two_vars(self):
+        # f(a, b) = a & ~b has tt 0b0010; swapped -> b & ~a = 0b0100
+        assert permute_truth_table(0b0010, 2, (1, 0)) == 0b0100
+
+    @given(st.integers(min_value=0, max_value=255), st.permutations([0, 1, 2]))
+    @settings(max_examples=100, deadline=None)
+    def test_permute_preserves_semantics(self, table, perm):
+        """g(y) = f(x) with x_j = y_{perm[j]} for every assignment."""
+        n = 3
+        g = permute_truth_table(table, n, perm)
+        for x in range(1 << n):
+            y = 0
+            for j in range(n):
+                if (x >> j) & 1:
+                    y |= 1 << perm[j]
+            assert ((table >> x) & 1) == ((g >> y) & 1)
+
+
+class TestCellFunctions:
+    REFERENCES = {
+        "INV_X1": lambda a: not a,
+        "BUF_X1": lambda a: a,
+        "NAND2_X1": lambda a, b: not (a and b),
+        "NOR2_X1": lambda a, b: not (a or b),
+        "AND2_X1": lambda a, b: a and b,
+        "OR2_X1": lambda a, b: a or b,
+        "XOR2_X1": lambda a, b: a != b,
+        "XNOR2_X1": lambda a, b: a == b,
+        "NAND3_X1": lambda a, b, c: not (a and b and c),
+        "NOR3_X1": lambda a, b, c: not (a or b or c),
+        "AND3_X1": lambda a, b, c: a and b and c,
+        "OR3_X1": lambda a, b, c: a or b or c,
+        "MAJ3_X1": lambda a, b, c: (a + b + c) >= 2,
+        "XOR3_X1": lambda a, b, c: (a + b + c) % 2 == 1,
+        "MUX2_X1": lambda a, b, s: b if s else a,
+        "AOI21_X1": lambda a, b, c: not ((a and b) or c),
+        "OAI21_X1": lambda a, b, c: not ((a or b) and c),
+        "AOI22_X1": lambda a, b, c, d: not ((a and b) or (c and d)),
+        "OAI22_X1": lambda a, b, c, d: not ((a or b) and (c or d)),
+    }
+
+    def test_every_cell_has_reference(self, lib):
+        assert set(lib.cell_names) == set(self.REFERENCES)
+
+    @pytest.mark.parametrize("name", sorted(REFERENCES))
+    def test_cell_truth_table(self, lib, name):
+        cell = lib.cell(name)
+        ref = self.REFERENCES[name]
+        for pattern in range(1 << cell.num_inputs):
+            values = [bool((pattern >> j) & 1) for j in range(cell.num_inputs)]
+            assert cell.evaluate(values) == bool(ref(*values)), (name, values)
+
+    def test_evaluate_arity_check(self, lib):
+        with pytest.raises(ValueError):
+            lib.cell("AND2_X1").evaluate([True])
+
+    def test_delay_monotone_in_load(self, lib):
+        cell = lib.cell("NAND2_X1")
+        assert cell.delay(10.0) > cell.delay(1.0) > 0
+
+    def test_delay_clamps_negative_load(self, lib):
+        cell = lib.cell("INV_X1")
+        assert cell.delay(-5.0) == cell.intrinsic_delay
+
+
+class TestMatching:
+    def test_match_and2(self, lib):
+        match = lib.best_match(0b1000, 2)
+        assert match is not None
+        cell, perm, inverted = match
+        # NAND2 (smaller) with output inversion, or AND2 directly.
+        assert (cell.name, inverted) in {("NAND2_X1", True), ("AND2_X1", False)}
+
+    def test_match_respects_permutation_semantics(self, lib):
+        """For every match of every random table, wiring pin j to var
+        perm[j] must implement the table (or its complement)."""
+        import random
+
+        rng = random.Random(0)
+        for _ in range(200):
+            n = rng.choice([2, 3])
+            table = rng.getrandbits(1 << n)
+            for cell, perm, inverted in lib.matches(table, n):
+                for x in range(1 << n):
+                    pin_values = [
+                        bool((x >> perm[j]) & 1) for j in range(cell.num_inputs)
+                    ]
+                    got = cell.evaluate(pin_values)
+                    want = bool((table >> x) & 1)
+                    if inverted:
+                        want = not want
+                    assert got == want, (cell.name, perm, inverted, x)
+
+    def test_best_match_prefers_uninverted(self, lib):
+        # XOR2 exists directly; XNOR2 too: neither should need inversion.
+        cell, _perm, inverted = lib.best_match(0b0110, 2)
+        assert cell.name == "XOR2_X1"
+        assert not inverted
+
+    def test_no_match_returns_none(self, lib):
+        # A 4-input function not in the library (parity of 4).
+        parity4 = 0
+        for x in range(16):
+            if bin(x).count("1") % 2:
+                parity4 |= 1 << x
+        assert lib.best_match(parity4, 4) is None
+
+    def test_duplicate_cell_names_rejected(self, lib):
+        cell = lib.cell("INV_X1")
+        with pytest.raises(ValueError):
+            Library("dup", [cell, cell])

@@ -1,0 +1,40 @@
+"""Structural scaling properties of every benchmark generator."""
+
+import pytest
+
+from repro.netlist import aig_to_graph, benchmarks
+
+
+@pytest.mark.parametrize("name", benchmarks.all_names())
+def test_scale_monotone_in_size(name):
+    """Bigger scale never shrinks the design (monotone knob)."""
+    sizes = [benchmarks.build(name, s).num_ands for s in (0.5, 1.0, 1.6)]
+    assert sizes[0] <= sizes[1] <= sizes[2]
+    assert sizes[2] > sizes[0]
+
+
+@pytest.mark.parametrize("name", benchmarks.dataset_names())
+def test_dataset_designs_are_graph_convertible(name):
+    aig = benchmarks.build(name, 0.5)
+    g = aig_to_graph(aig)
+    assert g.num_nodes == aig.size
+    # every AND node is reachable from some input through the edge list
+    assert g.num_edges == 2 * aig.num_ands
+
+
+@pytest.mark.parametrize("name", benchmarks.all_names())
+def test_no_dangling_inputs_dominate(name):
+    """Most primary inputs actually drive logic."""
+    aig = benchmarks.build(name, 0.8)
+    fanout = aig.fanout_counts()
+    used = sum(1 for node in aig.inputs if fanout[node] > 0)
+    assert used >= 0.5 * aig.num_inputs
+
+
+@pytest.mark.parametrize("name", benchmarks.all_names())
+def test_outputs_depend_on_inputs(name):
+    """Random stimulus toggles at least one output (no constant designs)."""
+    aig = benchmarks.build(name, 0.6)
+    sig_a = aig.random_simulation_signature(64, seed=1)
+    mask = (1 << 64) - 1
+    assert any(0 < s < mask for s in sig_a)

@@ -1,0 +1,142 @@
+"""Tests for the gate-level netlist container."""
+
+import pytest
+
+from repro.netlist.cells import nangate_lite
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+@pytest.fixture()
+def lib():
+    return nangate_lite()
+
+
+def build_half_adder(lib):
+    """s = a ^ b, c = a & b."""
+    net = Netlist("half_adder", lib)
+    net.add_input_port("a")
+    net.add_input_port("b")
+    net.add_instance("gx", "XOR2_X1", {"A": "a", "B": "b", "Y": "s"})
+    net.add_instance("ga", "AND2_X1", {"A": "a", "B": "b", "Y": "c"})
+    net.add_output_port("sum", "s")
+    net.add_output_port("carry", "c")
+    return net
+
+
+class TestConstruction:
+    def test_half_adder_builds(self, lib):
+        net = build_half_adder(lib)
+        net.validate()
+        assert net.num_instances == 2
+        assert net.input_ports == ["a", "b"]
+        assert net.output_ports == ["sum", "carry"]
+
+    def test_duplicate_instance_rejected(self, lib):
+        net = build_half_adder(lib)
+        with pytest.raises(NetlistError):
+            net.add_instance("gx", "INV_X1", {"A": "a", "Y": "zz"})
+
+    def test_wrong_pins_rejected(self, lib):
+        net = Netlist("bad", lib)
+        net.add_input_port("a")
+        with pytest.raises(NetlistError):
+            net.add_instance("g", "AND2_X1", {"A": "a", "Y": "y"})
+
+    def test_double_driver_rejected(self, lib):
+        net = Netlist("bad", lib)
+        net.add_input_port("a")
+        net.add_instance("g1", "INV_X1", {"A": "a", "Y": "y"})
+        with pytest.raises(NetlistError):
+            net.add_instance("g2", "INV_X1", {"A": "a", "Y": "y"})
+
+    def test_undriven_net_fails_validation(self, lib):
+        net = Netlist("bad", lib)
+        net.add_input_port("a")
+        net.add_instance("g", "AND2_X1", {"A": "a", "B": "floating", "Y": "y"})
+        with pytest.raises(NetlistError):
+            net.validate()
+
+    def test_duplicate_input_port_rejected(self, lib):
+        net = Netlist("bad", lib)
+        net.add_input_port("a")
+        with pytest.raises(NetlistError):
+            net.add_input_port("a")
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self, lib):
+        net = Netlist("chain", lib)
+        net.add_input_port("a")
+        net.add_instance("g1", "INV_X1", {"A": "a", "Y": "n1"})
+        net.add_instance("g3", "INV_X1", {"A": "n2", "Y": "n3"})
+        net.add_instance("g2", "INV_X1", {"A": "n1", "Y": "n2"})
+        net.add_output_port("z", "n3")
+        order = net.topological_order()
+        assert order.index("g1") < order.index("g2") < order.index("g3")
+
+    def test_cycle_detected(self, lib):
+        net = Netlist("cyc", lib)
+        net.add_input_port("a")
+        net.add_instance("g1", "AND2_X1", {"A": "a", "B": "n2", "Y": "n1"})
+        net.add_instance("g2", "INV_X1", {"A": "n1", "Y": "n2"})
+        with pytest.raises(NetlistError):
+            net.topological_order()
+
+    def test_levels_and_depth(self, lib):
+        net = Netlist("chain", lib)
+        net.add_input_port("a")
+        prev = "a"
+        for i in range(4):
+            net.add_instance(f"g{i}", "INV_X1", {"A": prev, "Y": f"n{i}"})
+            prev = f"n{i}"
+        net.add_output_port("z", prev)
+        assert net.depth() == 4
+        levels = net.levels()
+        assert levels["g0"] == 1 and levels["g3"] == 4
+
+    def test_stats(self, lib):
+        net = build_half_adder(lib)
+        stats = net.stats()
+        assert stats.num_instances == 2
+        assert stats.num_inputs == 2
+        assert stats.num_outputs == 2
+        assert stats.total_area == pytest.approx(
+            lib.cell("XOR2_X1").area + lib.cell("AND2_X1").area
+        )
+        assert stats.depth == 1
+        assert stats.max_fanout == 2  # a and b each drive two pins
+
+
+class TestSimulation:
+    def test_half_adder_function(self, lib):
+        net = build_half_adder(lib)
+        for a in (0, 1):
+            for b in (0, 1):
+                out = net.simulate({"a": a, "b": b}, width=1)
+                assert out["sum"] == (a ^ b)
+                assert out["carry"] == (a & b)
+
+    def test_bit_parallel_simulation(self, lib):
+        net = build_half_adder(lib)
+        out = net.simulate({"a": 0b1100, "b": 0b1010}, width=4)
+        assert out["sum"] == 0b0110
+        assert out["carry"] == 0b1000
+
+    def test_missing_stimulus(self, lib):
+        net = build_half_adder(lib)
+        with pytest.raises(NetlistError):
+            net.simulate({"a": 1})
+
+    def test_signature_matches_simulation(self, lib):
+        net = build_half_adder(lib)
+        sig = net.random_simulation_signature(16, seed=2)
+        assert len(sig) == 2
+        sig2 = net.random_simulation_signature(16, seed=2)
+        assert sig == sig2
+
+    def test_fanout_histogram(self, lib):
+        net = build_half_adder(lib)
+        hist = net.fanout_histogram()
+        # a, b have fanout 2; s, c have fanout 1 (output ports)
+        assert hist[2] == 2
+        assert hist[1] == 2

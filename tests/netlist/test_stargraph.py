@@ -1,0 +1,131 @@
+"""Tests for the design-to-graph conversion (star model)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    AIG_FEATURE_DIM,
+    NETLIST_FEATURE_DIM,
+    aig_to_graph,
+    benchmarks,
+    netlist_to_clique_graph,
+    netlist_to_star_graph,
+)
+from repro.netlist.cells import nangate_lite
+from repro.netlist.netlist import Netlist
+from repro.netlist.stargraph import GraphSample
+from repro.eda.synthesis import SynthesisEngine
+
+
+@pytest.fixture(scope="module")
+def small_netlist():
+    return SynthesisEngine().run(benchmarks.build("router", 0.5)).artifact
+
+
+class TestGraphSample:
+    def test_validation_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            GraphSample(
+                name="bad",
+                num_nodes=2,
+                edges=np.array([[0, 5]]),
+                features=np.zeros((2, 3)),
+            )
+
+    def test_validation_rejects_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            GraphSample(
+                name="bad",
+                num_nodes=3,
+                edges=np.zeros((0, 2), dtype=int),
+                features=np.zeros((2, 3)),
+            )
+
+    def test_empty_edges_ok(self):
+        g = GraphSample(
+            name="ok", num_nodes=1, edges=np.zeros((0, 2), dtype=int),
+            features=np.zeros((1, 2)),
+        )
+        assert g.num_edges == 0
+        assert g.feature_dim == 2
+
+
+class TestAIGConversion:
+    def test_shapes(self):
+        aig = benchmarks.build("ctrl", 0.4)
+        g = aig_to_graph(aig)
+        assert g.num_nodes == aig.size
+        assert g.num_edges == 2 * aig.num_ands
+        assert g.feature_dim == AIG_FEATURE_DIM
+
+    def test_edges_follow_fanins(self):
+        aig = benchmarks.build("adder", 0.2)
+        g = aig_to_graph(aig)
+        edge_set = {tuple(e) for e in g.edges.tolist()}
+        for node in aig.and_nodes():
+            a, b = aig.fanins(node)
+            assert (a >> 1, node) in edge_set
+            assert (b >> 1, node) in edge_set
+
+    def test_feature_flags(self):
+        aig = benchmarks.build("priority", 0.3)
+        g = aig_to_graph(aig)
+        # constant node flag
+        assert g.features[0, 0] == 1.0
+        # PIs flagged as inputs, not ANDs
+        for node in aig.inputs:
+            assert g.features[node, 1] == 1.0
+            assert g.features[node, 2] == 0.0
+        # level feature normalized to [0, 1]
+        assert g.features[:, 4].max() <= 1.0 + 1e-9
+
+    def test_meta(self):
+        aig = benchmarks.build("voter", 0.4)
+        g = aig_to_graph(aig)
+        assert g.meta["num_ands"] == aig.num_ands
+        assert g.meta["depth"] == max(1, aig.depth())
+
+
+class TestNetlistConversion:
+    def test_star_edge_count_matches_fanout(self, small_netlist):
+        g = netlist_to_star_graph(small_netlist)
+        expected = sum(net.fanout for net in small_netlist.nets.values())
+        assert g.num_edges == expected
+        assert g.feature_dim == NETLIST_FEATURE_DIM
+
+    def test_node_count(self, small_netlist):
+        g = netlist_to_star_graph(small_netlist)
+        expected = (
+            small_netlist.num_instances
+            + len(small_netlist.input_ports)
+            + len(small_netlist.output_ports)
+        )
+        assert g.num_nodes == expected
+
+    def test_clique_has_more_edges_than_star(self, small_netlist):
+        star = netlist_to_star_graph(small_netlist)
+        clique = netlist_to_clique_graph(small_netlist)
+        assert clique.num_edges > star.num_edges
+        assert clique.num_nodes == star.num_nodes
+
+    def test_meta_fields(self, small_netlist):
+        g = netlist_to_star_graph(small_netlist)
+        assert g.meta["num_instances"] == small_netlist.num_instances
+        assert g.meta["total_area"] == pytest.approx(small_netlist.total_area())
+
+    def test_star_model_driver_to_sinks(self):
+        """The paper's star model: one edge from driver to each sink."""
+        lib = nangate_lite()
+        net = Netlist("t", lib)
+        net.add_input_port("a")
+        net.add_instance("g1", "INV_X1", {"A": "a", "Y": "n"})
+        net.add_instance("g2", "INV_X1", {"A": "n", "Y": "o1"})
+        net.add_instance("g3", "INV_X1", {"A": "n", "Y": "o2"})
+        net.add_output_port("z1", "o1")
+        net.add_output_port("z2", "o2")
+        g = netlist_to_star_graph(net)
+        # node ids: a=0, g1=1, g2=2, g3=3, z1=4, z2=5
+        edges = {tuple(e) for e in g.edges.tolist()}
+        assert (1, 2) in edges and (1, 3) in edges  # n: g1 -> g2, g1 -> g3
+        assert (0, 1) in edges  # a -> g1
+        assert (2, 4) in edges and (3, 5) in edges  # outputs

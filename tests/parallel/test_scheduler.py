@@ -1,0 +1,115 @@
+"""Tests for list scheduling and the task-graph workload."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import TaskGraph, TaskGraphWorkload, list_schedule
+
+
+def diamond_graph():
+    g = TaskGraph()
+    a = g.add_task(1.0)
+    b = g.add_task(2.0, deps=[a])
+    c = g.add_task(3.0, deps=[a])
+    d = g.add_task(1.0, deps=[b, c])
+    return g
+
+
+class TestListSchedule:
+    def test_serial_schedule_is_total_work(self):
+        g = diamond_graph()
+        assert list_schedule(g, 1).makespan == pytest.approx(g.total_work)
+
+    def test_two_workers_diamond(self):
+        g = diamond_graph()
+        # a(1) then b||c (3), then d(1) -> 5
+        assert list_schedule(g, 2).makespan == pytest.approx(5.0)
+
+    def test_empty_graph(self):
+        assert list_schedule(TaskGraph(), 4).makespan == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            list_schedule(diamond_graph(), 0)
+
+    def test_dependencies_respected(self):
+        g = diamond_graph()
+        result = list_schedule(g, 4)
+        tasks = {t.task_id: t for t in g.tasks}
+        for task_id, start in result.start_times.items():
+            for dep in tasks[task_id].deps:
+                assert result.finish_times[dep] <= start + 1e-12
+
+    def test_workers_not_double_booked(self):
+        g = diamond_graph()
+        result = list_schedule(g, 2)
+        by_worker = {}
+        for task_id, worker in result.worker_of.items():
+            by_worker.setdefault(worker, []).append(
+                (result.start_times[task_id], result.finish_times[task_id])
+            )
+        for intervals in by_worker.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert f1 <= s2 + 1e-12
+
+    def test_utilization_bounded(self):
+        result = list_schedule(diamond_graph(), 2)
+        assert 0.0 < result.utilization <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 10.0), st.lists(st.integers(0, 50), max_size=3)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, spec, workers):
+        """Graham bounds: max(cp, W/k) <= makespan <= W/k + cp."""
+        g = TaskGraph()
+        for work, deps in spec:
+            valid = [d for d in deps if d < len(g)]
+            g.add_task(work, deps=valid)
+        result = list_schedule(g, workers)
+        cp = g.critical_path()
+        lower = max(cp, g.total_work / workers)
+        upper = g.total_work / workers + cp
+        assert lower - 1e-9 <= result.makespan <= upper + 1e-9
+
+
+class TestTaskGraphWorkload:
+    def test_runtime_monotone_in_workers(self):
+        w = TaskGraphWorkload(diamond_graph(), sync_overhead=0.0)
+        w.add(2.0, parallelism=1, name="serial")
+        times = [w.runtime(k) for k in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_serial_sections_added(self):
+        w = TaskGraphWorkload(diamond_graph(), sync_overhead=0.0)
+        w.add(3.0, parallelism=1)
+        assert w.runtime(1) == pytest.approx(7.0 + 3.0)
+        assert w.total_work == pytest.approx(10.0)
+
+    def test_speedup_relative_to_one(self):
+        w = TaskGraphWorkload(diamond_graph(), sync_overhead=0.0)
+        assert w.speedup(1) == pytest.approx(1.0)
+        assert w.speedup(2) == pytest.approx(7.0 / 5.0)
+
+    def test_parallel_fraction(self):
+        w = TaskGraphWorkload(diamond_graph())
+        w.add(7.0, parallelism=1)
+        assert w.parallel_fraction() == pytest.approx(0.5)
+
+    def test_sync_overhead_applied(self):
+        w0 = TaskGraphWorkload(diamond_graph(), sync_overhead=0.0)
+        w5 = TaskGraphWorkload(diamond_graph(), sync_overhead=0.05)
+        assert w5.runtime(4) > w0.runtime(4)
+        assert w5.runtime(1) == pytest.approx(w0.runtime(1))
+
+    def test_makespan_cached(self):
+        w = TaskGraphWorkload(diamond_graph())
+        first = w.makespan(4)
+        assert w.makespan(4) == first
+        assert 4 in w._makespan_cache

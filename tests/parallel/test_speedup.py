@@ -1,0 +1,75 @@
+"""Tests for speedup curves and Amdahl fitting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    SpeedupCurve,
+    amdahl_speedup,
+    fit_amdahl_fraction,
+    gustafson_speedup,
+    speedup_curve,
+)
+
+
+class TestFormulas:
+    def test_amdahl_endpoints(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(1.0)
+        assert amdahl_speedup(1.0, 8) == pytest.approx(8.0)
+
+    def test_amdahl_paper_value(self):
+        """f ~ 0.515 gives the paper's ~1.8x synthesis speedup at 8 vCPUs."""
+        assert amdahl_speedup(0.515, 8) == pytest.approx(1.82, abs=0.05)
+
+    def test_gustafson_linear_in_k(self):
+        assert gustafson_speedup(0.5, 8) == pytest.approx(4.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+        with pytest.raises(ValueError):
+            gustafson_speedup(-0.1, 4)
+
+
+class TestFit:
+    @given(st.floats(0.05, 0.98))
+    @settings(max_examples=100, deadline=None)
+    def test_fit_recovers_true_fraction(self, f):
+        ks = [1, 2, 4, 8, 16]
+        speedups = [amdahl_speedup(f, k) for k in ks]
+        estimated = fit_amdahl_fraction(ks, speedups)
+        assert estimated == pytest.approx(f, abs=0.02)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_amdahl_fraction([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_amdahl_fraction([1, 2], [1.0, -2.0])
+
+    def test_fit_clips_to_unit_interval(self):
+        # Superlinear "speedups" should clip to f = 1.
+        assert fit_amdahl_fraction([1, 2, 4], [1.0, 2.5, 7.0]) == 1.0
+
+
+class TestCurve:
+    def test_speedups_and_efficiency(self):
+        curve = SpeedupCurve(vcpus=[1, 2, 4], runtimes=[100.0, 60.0, 40.0])
+        assert curve.speedups == pytest.approx([1.0, 100 / 60, 2.5])
+        assert curve.efficiencies[2] == pytest.approx(2.5 / 4)
+
+    def test_from_runtime_fn(self):
+        curve = speedup_curve(lambda k: 100.0 / k, vcpus=(1, 2, 4))
+        assert curve.runtimes == [100.0, 50.0, 25.0]
+        assert curve.as_dict()[4] == 25.0
+
+    def test_parallel_fraction_of_ideal_curve(self):
+        curve = speedup_curve(lambda k: 100.0 / k, vcpus=(1, 2, 4, 8))
+        assert curve.parallel_fraction() == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedupCurve(vcpus=[1, 2], runtimes=[1.0])
+        with pytest.raises(ValueError):
+            SpeedupCurve(vcpus=[4, 1], runtimes=[1.0, 2.0])

@@ -1,0 +1,119 @@
+"""Tests for work profiles and task graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import Section, TaskGraph, WorkProfile
+
+
+class TestSection:
+    def test_runtime_serial(self):
+        s = Section(work=10.0, parallelism=1.0)
+        assert s.runtime(1, sync_overhead=0.0) == 10.0
+        assert s.runtime(8, sync_overhead=0.0) == 10.0  # capped at parallelism
+
+    def test_runtime_parallel_ideal(self):
+        s = Section(work=8.0, parallelism=8.0)
+        assert s.runtime(8, sync_overhead=0.0) == pytest.approx(1.0)
+        assert s.runtime(4, sync_overhead=0.0) == pytest.approx(2.0)
+
+    def test_sync_overhead_penalizes_width(self):
+        s = Section(work=8.0, parallelism=8.0)
+        assert s.runtime(8, sync_overhead=0.05) == pytest.approx(1.0 * 1.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Section(work=-1.0)
+        with pytest.raises(ValueError):
+            Section(work=1.0, parallelism=0.5)
+        with pytest.raises(ValueError):
+            Section(work=1.0).runtime(0)
+
+
+class TestWorkProfile:
+    def test_amdahl_equivalence(self):
+        """A profile with serial + parallel parts follows Amdahl's law."""
+        p = WorkProfile()
+        p.add(50.0, parallelism=1)
+        p.add(50.0, parallelism=1000)
+        t1 = p.runtime(1, sync_overhead=0.0)
+        t4 = p.runtime(4, sync_overhead=0.0)
+        assert t1 / t4 == pytest.approx(1.0 / (0.5 + 0.5 / 4))
+
+    def test_zero_work_sections_dropped(self):
+        p = WorkProfile()
+        p.add(0.0, parallelism=4)
+        assert p.sections == []
+
+    def test_totals_and_span(self):
+        p = WorkProfile()
+        p.add(10, parallelism=1)
+        p.add(20, parallelism=4)
+        assert p.total_work == 30
+        assert p.span == pytest.approx(10 + 5)
+        assert p.parallel_fraction() == pytest.approx(20 / 30)
+
+    def test_scaled(self):
+        p = WorkProfile()
+        p.add(10, parallelism=2)
+        q = p.scaled(3.0)
+        assert q.total_work == 30
+        assert p.total_work == 10
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 100.0),
+                st.floats(1.0, 16.0),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_runtime_bounds(self, sections, workers):
+        """runtime(k) between span and total work; monotone in k (no overhead)."""
+        p = WorkProfile()
+        for work, par in sections:
+            p.add(work, parallelism=par)
+        t = p.runtime(workers, sync_overhead=0.0)
+        assert t <= p.total_work + 1e-9
+        assert t >= p.span - 1e-9
+        t_more = p.runtime(workers + 1, sync_overhead=0.0)
+        assert t_more <= t + 1e-9
+
+
+class TestTaskGraph:
+    def test_basic_construction(self):
+        g = TaskGraph("t")
+        a = g.add_task(1.0)
+        b = g.add_task(2.0, deps=[a])
+        assert len(g) == 2
+        assert g.total_work == 3.0
+        assert g.critical_path() == 3.0
+
+    def test_parallel_tasks_critical_path(self):
+        g = TaskGraph()
+        g.add_task(5.0)
+        g.add_task(3.0)
+        assert g.critical_path() == 5.0
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add_task(1.0, deps=[42])
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().add_task(-1.0)
+
+    def test_bottom_levels(self):
+        g = TaskGraph()
+        a = g.add_task(1.0)
+        b = g.add_task(2.0, deps=[a])
+        c = g.add_task(4.0, deps=[a])
+        levels = g.bottom_levels()
+        assert levels[b] == 2.0
+        assert levels[c] == 4.0
+        assert levels[a] == 5.0  # 1 + max(2, 4)

@@ -1,0 +1,100 @@
+"""Cross-cutting property tests for the execution model.
+
+These pin down the invariants the whole reproduction leans on: runtimes
+derived from work profiles and task graphs behave like runtimes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    Section,
+    TaskGraph,
+    TaskGraphWorkload,
+    WorkProfile,
+    amdahl_speedup,
+    fit_amdahl_fraction,
+)
+
+
+@st.composite
+def work_profiles(draw):
+    profile = WorkProfile()
+    n = draw(st.integers(1, 8))
+    for _ in range(n):
+        profile.add(
+            draw(st.floats(0.5, 500.0)),
+            parallelism=draw(st.sampled_from([1.0, 2.0, 4.0, 8.0, 16.0])),
+        )
+    return profile
+
+
+@given(work_profiles())
+@settings(max_examples=80, deadline=None)
+def test_profile_speedup_bounded_by_amdahl(profile):
+    """Measured speedup never exceeds Amdahl's bound for the profile's
+    parallel fraction at infinite width (no overhead)."""
+    f = profile.parallel_fraction()
+    for k in (2, 4, 8):
+        s = profile.runtime(1, sync_overhead=0.0) / profile.runtime(
+            k, sync_overhead=0.0
+        )
+        assert s <= amdahl_speedup(f, 1e9) + 1e-9
+
+
+@given(work_profiles())
+@settings(max_examples=60, deadline=None)
+def test_amdahl_fit_recovers_profile_fraction(profile):
+    """Fitting Amdahl to a two-section profile's curve recovers ~f when
+    all parallel sections are unbounded."""
+    unbounded = WorkProfile()
+    serial = sum(s.work for s in profile.sections if s.parallelism == 1)
+    parallel = sum(s.work for s in profile.sections if s.parallelism > 1)
+    unbounded.add(serial, parallelism=1)
+    unbounded.add(parallel, parallelism=1e9)
+    if unbounded.total_work == 0:
+        return
+    ks = [1, 2, 4, 8, 16]
+    speedups = [
+        unbounded.runtime(1, sync_overhead=0.0)
+        / unbounded.runtime(k, sync_overhead=0.0)
+        for k in ks
+    ]
+    f_true = unbounded.parallel_fraction()
+    f_fit = fit_amdahl_fraction(ks, speedups)
+    assert f_fit == pytest.approx(f_true, abs=0.03)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 20.0), st.lists(st.integers(0, 30), max_size=2)),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_taskgraph_workload_work_conservation(spec):
+    """runtime(1) with no overhead equals total work exactly."""
+    g = TaskGraph()
+    for work, deps in spec:
+        g.add_task(work, deps=[d for d in deps if d < len(g)])
+    w = TaskGraphWorkload(g, sync_overhead=0.0)
+    w.add(3.0, parallelism=1)
+    assert w.runtime(1) == pytest.approx(g.total_work + 3.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 20.0), st.lists(st.integers(0, 30), max_size=2)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(1, 12),
+)
+@settings(max_examples=60, deadline=None)
+def test_taskgraph_workload_never_beats_critical_path(spec, workers):
+    g = TaskGraph()
+    for work, deps in spec:
+        g.add_task(work, deps=[d for d in deps if d < len(g)])
+    w = TaskGraphWorkload(g, sync_overhead=0.0)
+    assert w.runtime(workers) >= g.critical_path() - 1e-9

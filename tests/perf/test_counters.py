@@ -1,0 +1,62 @@
+"""Tests for performance-counter aggregation."""
+
+import pytest
+
+from repro.perf import PerfCounters
+
+
+class TestRates:
+    def test_branch_miss_rate(self):
+        c = PerfCounters(branches=200, branch_misses=30)
+        assert c.branch_miss_rate == pytest.approx(0.15)
+
+    def test_cache_miss_rate_uses_llc_references(self):
+        c = PerfCounters(l1_hits=900, l1_misses=100, llc_hits=60, llc_misses=40)
+        assert c.llc_accesses == 100
+        assert c.cache_miss_rate == pytest.approx(0.40)
+        assert c.l1_miss_rate == pytest.approx(0.10)
+
+    def test_avx_share_counts_vector_instructions(self):
+        c = PerfCounters(instructions=1000, fp_avx_ops=400)
+        assert c.avx_instructions == 100
+        assert c.avx_share == pytest.approx(0.1)
+
+    def test_fp_share(self):
+        c = PerfCounters(instructions=100, fp_scalar_ops=10, fp_avx_ops=20)
+        assert c.fp_ops == 30
+        assert c.fp_share == pytest.approx(0.30)
+
+    def test_zero_denominators(self):
+        c = PerfCounters()
+        assert c.branch_miss_rate == 0.0
+        assert c.cache_miss_rate == 0.0
+        assert c.l1_miss_rate == 0.0
+        assert c.avx_share == 0.0
+
+
+class TestComposition:
+    def test_merge_adds_fields(self):
+        a = PerfCounters(instructions=10, branches=5)
+        b = PerfCounters(instructions=1, branch_misses=2)
+        merged = a + b
+        assert merged.instructions == 11
+        assert merged.branches == 5
+        assert merged.branch_misses == 2
+
+    def test_merge_does_not_mutate(self):
+        a = PerfCounters(instructions=10)
+        _ = a + PerfCounters(instructions=5)
+        assert a.instructions == 10
+
+    def test_as_dict_has_rates(self):
+        d = PerfCounters(branches=10, branch_misses=1).as_dict()
+        assert d["branch_miss_rate"] == pytest.approx(0.1)
+        assert "cache_miss_rate" in d
+        assert "avx_share" in d
+
+    def test_summary_format(self):
+        text = PerfCounters(
+            instructions=1234, branches=100, branch_misses=10
+        ).summary()
+        assert "instructions" in text
+        assert "10.00%" in text

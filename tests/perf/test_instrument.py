@@ -1,0 +1,87 @@
+"""Tests for the instrumentation facade (sampling, scaling, null path)."""
+
+import pytest
+
+from repro.perf import Instrument, NullInstrument, make_instrument
+
+
+class TestNullInstrument:
+    def test_swallows_everything(self):
+        inst = NullInstrument()
+        inst.mem([1, 2, 3])
+        inst.branch(0, [True, False])
+        inst.flops(scalar=5, avx=8)
+        inst.instructions(100)
+        c = inst.counters
+        assert c.instructions == 0
+        assert c.mem_accesses == 0
+        assert not inst.enabled
+        assert inst.concurrency == 1
+
+
+class TestInstrument:
+    def test_mem_counts(self):
+        inst = Instrument()
+        inst.mem(list(range(0, 64 * 10, 64)))
+        c = inst.counters
+        assert c.mem_accesses == 10
+        assert c.l1_hits + c.l1_misses == 10
+
+    def test_reads_per_element_scales_counts(self):
+        inst = Instrument()
+        inst.mem([0, 64, 128], reads_per_element=4)
+        assert inst.counters.mem_accesses == 12
+
+    def test_sampling_scales_back_up(self):
+        full = Instrument(sample_rate=1)
+        sampled = Instrument(sample_rate=4)
+        addrs = list(range(0, 64 * 400, 64))
+        full.mem(addrs)
+        sampled.mem(addrs)
+        assert sampled.counters.mem_accesses == full.counters.mem_accesses
+        # miss estimates agree within sampling error
+        assert sampled.counters.l1_misses == pytest.approx(
+            full.counters.l1_misses, rel=0.2
+        )
+
+    def test_branch_weight(self):
+        inst = Instrument()
+        inst.branch(3, [True] * 10, weight=5)
+        assert inst.counters.branches == 50
+
+    def test_branch_counts_and_misses(self):
+        inst = Instrument()
+        inst.branch(1, [True] * 100)
+        c = inst.counters
+        assert c.branches == 100
+        assert c.branch_misses <= 2
+
+    def test_flops_instruction_accounting(self):
+        inst = Instrument()
+        inst.flops(scalar=10, avx=40)
+        c = inst.counters
+        assert c.fp_scalar_ops == 10
+        assert c.fp_avx_ops == 40
+        assert c.instructions == 10 + 10  # 40 avx ops = 10 vector instrs
+
+    def test_empty_events_are_noops(self):
+        inst = Instrument()
+        inst.mem([])
+        inst.branch(0, [])
+        assert inst.counters.instructions == 0
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            Instrument(sample_rate=0)
+
+
+class TestMakeInstrument:
+    def test_concurrency_set(self):
+        inst = make_instrument(8)
+        assert inst.concurrency == 8
+        assert inst.enabled
+
+    def test_llc_scales_with_vcpus(self):
+        small = make_instrument(1)
+        big = make_instrument(4)
+        assert big.cache.llc.config.size_bytes == 4 * small.cache.llc.config.size_bytes

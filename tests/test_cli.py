@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.design == "sparc_core"
+        assert args.vcpus == [1, 2, 4, 8]
+
+    def test_optimize_deadlines(self):
+        args = build_parser().parse_args(
+            ["optimize", "--deadlines", "1000", "2000"]
+        )
+        assert args.deadlines == [1000.0, 2000.0]
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_benchmarks_lists_designs(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "sparc_core" in out
+        assert "openpiton" in out
+        assert "multiplier" in out
+
+    def test_flow_small_design(self, capsys, tmp_path):
+        verilog = tmp_path / "out.v"
+        code = main(
+            [
+                "flow",
+                "--design",
+                "ctrl",
+                "--scale",
+                "0.4",
+                "--verilog-out",
+                str(verilog),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Synthesis" in out
+        assert "critical path" in out
+        assert verilog.exists()
+        assert "module" in verilog.read_text()
+
+    def test_flow_custom_recipe(self, capsys):
+        assert main(["flow", "--design", "dec", "--scale", "0.5", "--recipe", "balance"]) == 0
+        assert "Routing" in capsys.readouterr().out
+
+    def test_characterize_small(self, capsys):
+        code = main(
+            [
+                "characterize",
+                "--design",
+                "router",
+                "--scale",
+                "0.5",
+                "--sample-rate",
+                "8",
+                "--vcpus",
+                "1",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Branch misses" in out
+        assert "Speedup" in out
+
+    def test_optimize_small(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--design",
+                "router",
+                "--scale",
+                "0.5",
+                "--sample-rate",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recommended configuration" in out
+        assert "saves" in out

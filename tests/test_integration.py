@@ -1,0 +1,76 @@
+"""End-to-end integration tests spanning all subsystems."""
+
+import pytest
+
+from repro.cloud import aws_like_catalog
+from repro.core import (
+    build_stage_options,
+    characterize,
+    cost_saving_percent,
+    over_provisioning,
+    solve_mckp_dp,
+    under_provisioning,
+)
+from repro.eda import EDAStage, FlowRunner
+from repro.netlist import benchmarks
+
+
+@pytest.fixture(scope="module")
+def report():
+    """A coarse characterization of a mid-size design."""
+    return characterize("fpu", scale=0.8, vcpu_levels=(1, 2, 4, 8), sample_rate=8)
+
+
+class TestCharacterizeToDeployment:
+    """Figure 1's arrow from characterization to optimization."""
+
+    def test_full_pipeline(self, report):
+        runtimes = report.stage_runtimes()
+        stages = build_stage_options(
+            runtimes,
+            catalog=aws_like_catalog(),
+            families=report.recommended_families(),
+        )
+        # Deadline halfway between fastest and slowest uniform plans.
+        slowest = sum(opts.options[0].runtime_seconds for opts in stages)
+        fastest = sum(opts.fastest.runtime_seconds for opts in stages)
+        deadline = (slowest + fastest) / 2
+        selection = solve_mckp_dp(stages, deadline)
+        assert selection is not None
+        assert selection.total_runtime <= deadline
+
+        over = over_provisioning(stages)
+        under = under_provisioning(stages)
+        saving_over = cost_saving_percent(selection.total_cost, over.total_cost)
+        # The optimized plan should never cost more than over-provisioning.
+        assert saving_over >= -1e-9
+        assert selection.total_runtime <= under.total_runtime
+
+    def test_infeasible_deadline_is_na(self, report):
+        stages = build_stage_options(report.stage_runtimes())
+        fastest = sum(opts.fastest.runtime_seconds for opts in stages)
+        assert solve_mckp_dp(stages, fastest * 0.5) is None
+
+    def test_characterization_reproduces_paper_orderings(self, report):
+        """The qualitative claims of Figure 2 hold on another design."""
+        spd = {s: c.speedup(8) for s, c in report.stages.items()}
+        branch = {
+            s: list(c.branch_miss_rates().values())[0]
+            for s, c in report.stages.items()
+        }
+        assert max(spd, key=spd.get) == EDAStage.ROUTING
+        assert max(branch, key=branch.get) == EDAStage.ROUTING
+
+
+class TestFlowArtifactsConsistency:
+    def test_flow_reuses_placement_for_sta_and_routing(self):
+        fr = FlowRunner().run(benchmarks.build("int2float", 0.6))
+        placement = fr[EDAStage.PLACEMENT].artifact
+        routing = fr[EDAStage.ROUTING].artifact
+        # every routed gcell coordinate lies within the placement-derived grid
+        assert routing.grid_width >= 4
+        sta = fr[EDAStage.STA].artifact
+        assert sta.max_arrival > 0
+        # the timing graph saw every instance
+        netlist = fr[EDAStage.SYNTHESIS].artifact
+        assert len(sta.arrival) >= netlist.num_instances
