@@ -11,6 +11,9 @@ Exposes the paper's workflow as terminal commands:
 * ``repro predict``      — Problem 2: build the dataset, train the GCN
   predictors, report accuracy, optionally save the models.
 * ``repro benchmarks``   — list the designs shipped with the package.
+* ``repro verify``       — differential verification: fuzz the MCKP DP,
+  the list scheduler, the AIG transforms, and the spot model against
+  brute-force / closed-form oracles; exits non-zero on any violation.
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -101,6 +104,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("benchmarks", help="list the shipped benchmark designs")
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="fuzz the solvers against brute-force/closed-form oracles",
+    )
+    p_ver.add_argument(
+        "--trials", type=int, default=200, help="fuzz trials per oracle"
+    )
+    p_ver.add_argument(
+        "--seed", type=int, default=0, help="base seed (same seed = same report)"
+    )
+    p_ver.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this oracle (repeatable; default: all)",
+    )
+    p_ver.add_argument(
+        "--replay-seed",
+        type=int,
+        default=None,
+        help="replay one trial from a printed seed (requires one --oracle)",
+    )
+    p_ver.add_argument(
+        "--list", action="store_true", help="list the registered oracles"
+    )
     return parser
 
 
@@ -193,6 +223,36 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import ORACLES, run_fuzz, run_trial
+
+    if args.list:
+        for name in ORACLES:
+            print(name)
+        return 0
+    if args.replay_seed is not None:
+        if not args.oracle or len(args.oracle) != 1:
+            print("--replay-seed requires exactly one --oracle", file=sys.stderr)
+            return 2
+        messages = run_trial(args.oracle[0], args.replay_seed)
+        if messages:
+            print(f"replay {args.oracle[0]}@{args.replay_seed}: FAIL")
+            for message in messages:
+                print(f"  {message}")
+            return 1
+        print(f"replay {args.oracle[0]}@{args.replay_seed}: ok")
+        return 0
+    try:
+        report = run_fuzz(
+            oracle_names=args.oracle, trials=args.trials, seed=args.seed
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_benchmarks(_args) -> int:
     print(f"{'name':<14} {'kind':<12} note")
     for name in benchmarks.all_names():
@@ -207,6 +267,7 @@ _COMMANDS = {
     "optimize": _cmd_optimize,
     "predict": _cmd_predict,
     "benchmarks": _cmd_benchmarks,
+    "verify": _cmd_verify,
 }
 
 

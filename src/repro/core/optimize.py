@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..cloud.instance import VMConfig
 from ..cloud.pricing import PricingTable, aws_like_catalog
@@ -41,6 +41,8 @@ __all__ = [
     "solve_mckp_dp",
     "solve_min_cost_dp",
     "solve_brute_force",
+    "enumerate_feasible",
+    "selection_objective",
     "solve_greedy",
     "over_provisioning",
     "under_provisioning",
@@ -226,32 +228,53 @@ def _solve_dp(
     return selection
 
 
+def selection_objective(
+    selection: Selection, maximize_inverse_price: bool = True
+) -> float:
+    """Objective value of a selection under either MCKP objective.
+
+    Returns Σ 1/p for the paper's objective, or the (positive) total cost
+    for the min-cost objective — the quantity the solvers optimize, in a
+    form the differential oracles can compare across solvers whose tie
+    breaking differs.
+    """
+    if maximize_inverse_price:
+        return selection.objective_inverse_price
+    return selection.total_cost
+
+
+def enumerate_feasible(
+    stages: Sequence[StageOptions], deadline_seconds: float
+) -> Iterator[Selection]:
+    """Yield every deadline-feasible one-option-per-stage selection.
+
+    Exhaustive (exponential in the stage count); shared by the brute-force
+    solvers and the verification oracles, which use it to cross-check DP
+    feasibility claims against ground truth.
+    """
+    capacity = _check_deadline(stages, deadline_seconds)
+    for combo in itertools.product(*[s.options for s in stages]):
+        total_t = sum(o.runtime_seconds for o in combo)
+        if total_t > capacity:
+            continue
+        yield Selection(choices={s.stage: o for s, o in zip(stages, combo)})
+
+
 def solve_brute_force(
     stages: Sequence[StageOptions],
     deadline_seconds: float,
     maximize_inverse_price: bool = True,
 ) -> Optional[Selection]:
-    """Exhaustive reference solver (exponential; for tests and ablations)."""
-    capacity = _check_deadline(stages, deadline_seconds)
+    """Exhaustive reference solver (exponential; for tests and oracles)."""
     best: Optional[Selection] = None
     best_key: Optional[Tuple[float, float]] = None
-    for combo in itertools.product(*[s.options for s in stages]):
-        total_t = sum(o.runtime_seconds for o in combo)
-        if total_t > capacity:
-            continue
-        if maximize_inverse_price:
-            objective = sum(o.inverse_price for o in combo)
-            key = (objective, -total_t)
-            better = best_key is None or key > best_key
-        else:
-            objective = sum(o.price for o in combo)
-            key = (-objective, -total_t)
-            better = best_key is None or key > best_key
-        if better:
+    for selection in enumerate_feasible(stages, deadline_seconds):
+        objective = selection_objective(selection, maximize_inverse_price)
+        sign = 1.0 if maximize_inverse_price else -1.0
+        key = (sign * objective, -selection.total_runtime)
+        if best_key is None or key > best_key:
             best_key = key
-            best = Selection(
-                choices={s.stage: o for s, o in zip(stages, combo)}
-            )
+            best = selection
     return best
 
 

@@ -1,0 +1,49 @@
+"""Differential verification: oracles + seeded fuzzing.
+
+The paper's headline claims are exact-correctness claims — the MCKP DP is
+*optimal*, the list scheduler's makespans drive the runtime-vs-vCPU
+curves, and AIG rewrites must preserve the logic function.  This package
+machine-checks those invariants by differential testing: every optimized
+implementation is fuzzed against an independent brute-force or closed-form
+reference (:mod:`repro.verify.oracles`), driven by a deterministic seeded
+fuzzer (:mod:`repro.verify.fuzz`) whose failures replay from a printed
+seed.  The ``repro verify`` CLI subcommand wires it into CI.
+"""
+
+from .fuzz import (
+    ORACLES,
+    FuzzFailure,
+    FuzzReport,
+    OracleReport,
+    run_fuzz,
+    run_trial,
+    trial_seed,
+)
+from .oracles import (
+    aig_equivalence_violations,
+    cut_function_violations,
+    exhaustive_output_tables,
+    mckp_violations,
+    node_value_words,
+    recipe_equivalence_violations,
+    schedule_violations,
+    spot_violations,
+)
+
+__all__ = [
+    "ORACLES",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleReport",
+    "run_fuzz",
+    "run_trial",
+    "trial_seed",
+    "aig_equivalence_violations",
+    "cut_function_violations",
+    "exhaustive_output_tables",
+    "mckp_violations",
+    "node_value_words",
+    "recipe_equivalence_violations",
+    "schedule_violations",
+    "spot_violations",
+]

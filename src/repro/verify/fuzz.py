@@ -1,0 +1,209 @@
+"""Deterministic seeded fuzz driver over the differential oracles.
+
+Every trial derives a 32-bit *trial seed* from ``(oracle name, base seed,
+trial index)`` via ``zlib.crc32`` — stable across processes and Python
+versions (unlike ``hash``, which ``PYTHONHASHSEED`` randomizes).  A trial
+seeds ``random.Random(trial_seed)``, generates one instance, and runs its
+oracle, so any failure can be replayed in isolation::
+
+    repro verify --oracle mckp --replay-seed 123456789
+
+The report renderer is deliberately timestamp-free: the same base seed and
+trial count always produce byte-identical output, which the determinism
+tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..eda.synthesis import balance
+from . import generators, oracles
+
+__all__ = [
+    "ORACLES",
+    "FuzzFailure",
+    "OracleReport",
+    "FuzzReport",
+    "trial_seed",
+    "run_trial",
+    "run_fuzz",
+]
+
+
+# ----------------------------------------------------------------------
+# Oracle trials: generate one instance from an rng, check it
+# ----------------------------------------------------------------------
+def _mckp_trial(rng: random.Random) -> List[str]:
+    stages, deadline = generators.random_mckp_instance(rng)
+    return oracles.mckp_violations(stages, deadline)
+
+
+def _schedule_trial(rng: random.Random) -> List[str]:
+    graph, workers = generators.random_task_graph(rng)
+    return oracles.schedule_violations(graph, workers)
+
+
+def _aig_trial(rng: random.Random) -> List[str]:
+    aig = generators.random_aig(rng)
+    recipe, seed = generators.random_recipe(rng)
+    out = oracles.aig_equivalence_violations(aig, balance(aig), label="balance")
+    out.extend(oracles.recipe_equivalence_violations(aig, recipe, seed))
+    return out
+
+
+def _cuts_trial(rng: random.Random) -> List[str]:
+    aig = generators.random_aig(rng)
+    k = rng.randint(2, 6)
+    return oracles.cut_function_violations(aig, k=k, cap=rng.randint(2, 8))
+
+
+def _spot_trial(rng: random.Random) -> List[str]:
+    runtime, rate, interval = generators.random_spot_params(rng)
+    return oracles.spot_violations(runtime, rate, interval)
+
+
+#: Registered oracles, in report order.
+ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
+    "mckp": _mckp_trial,
+    "schedule": _schedule_trial,
+    "aig": _aig_trial,
+    "cuts": _cuts_trial,
+    "spot": _spot_trial,
+}
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def trial_seed(base_seed: int, oracle: str, trial: int) -> int:
+    """Stable 32-bit per-trial seed (replayable across processes)."""
+    return zlib.crc32(f"{oracle}:{base_seed}:{trial}".encode())
+
+
+def run_trial(oracle: str, seed: int) -> List[str]:
+    """Run one oracle trial from an explicit (replay) seed."""
+    if oracle not in ORACLES:
+        raise ValueError(
+            f"unknown oracle {oracle!r}; known: {', '.join(ORACLES)}"
+        )
+    return ORACLES[oracle](random.Random(seed))
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing trial, with everything needed to replay it."""
+
+    oracle: str
+    trial: int
+    seed: int
+    messages: Tuple[str, ...]
+
+
+@dataclass
+class OracleReport:
+    """Aggregate result of all trials of one oracle."""
+
+    name: str
+    trials: int
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class FuzzReport:
+    """Full fuzz-run result with a deterministic text rendering."""
+
+    base_seed: int
+    trials_per_oracle: int
+    oracles: List[OracleReport] = field(default_factory=list)
+
+    @property
+    def num_violations(self) -> int:
+        return sum(
+            len(f.messages) for o in self.oracles for f in o.failures
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.num_violations == 0
+
+    def render(self) -> str:
+        lines = [
+            f"repro verify: seed={self.base_seed} "
+            f"trials={self.trials_per_oracle} per oracle"
+        ]
+        for report in self.oracles:
+            status = "ok" if report.ok else f"{len(report.failures)} FAILING"
+            lines.append(
+                f"  {report.name:<10} {report.trials:>6} trials   {status}"
+            )
+            for failure in report.failures:
+                lines.append(
+                    f"    trial {failure.trial} (replay: repro verify "
+                    f"--oracle {failure.oracle} --replay-seed {failure.seed})"
+                )
+                for message in failure.messages:
+                    lines.append(f"      {message}")
+        total_trials = sum(o.trials for o in self.oracles)
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {len(self.oracles)} oracles, {total_trials} trials, "
+            f"{self.num_violations} violations"
+        )
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    oracle_names: Optional[Sequence[str]] = None,
+    trials: int = 200,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``trials`` seeded trials for each selected oracle.
+
+    Parameters
+    ----------
+    oracle_names:
+        Subset of :data:`ORACLES` to run (default: all, in registry order).
+    trials:
+        Trials per oracle.
+    seed:
+        Base seed; the same seed always produces the same report.
+    progress:
+        Optional per-oracle line sink (the CLI passes ``print``).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    names = list(ORACLES) if oracle_names is None else list(oracle_names)
+    for name in names:
+        if name not in ORACLES:
+            raise ValueError(
+                f"unknown oracle {name!r}; known: {', '.join(ORACLES)}"
+            )
+    report = FuzzReport(base_seed=seed, trials_per_oracle=trials)
+    for name in names:
+        oracle_report = OracleReport(name=name, trials=trials)
+        for trial in range(trials):
+            tseed = trial_seed(seed, name, trial)
+            messages = run_trial(name, tseed)
+            if messages:
+                oracle_report.failures.append(
+                    FuzzFailure(
+                        oracle=name,
+                        trial=trial,
+                        seed=tseed,
+                        messages=tuple(messages),
+                    )
+                )
+        report.oracles.append(oracle_report)
+        if progress is not None:
+            status = "ok" if oracle_report.ok else "FAIL"
+            progress(f"oracle {name}: {trials} trials {status}")
+    return report

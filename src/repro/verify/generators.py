@@ -1,0 +1,150 @@
+"""Seeded random instance generators for the differential verifier.
+
+Every generator takes a ``random.Random`` and produces one instance small
+enough for its brute-force / exhaustive oracle to check in milliseconds:
+
+* MCKP instances stay within 4 stages x 4 options so the exhaustive
+  reference enumerates at most 256 selections,
+* task graphs stay under ~25 tasks,
+* AIGs stay within 6 primary inputs so exhaustive truth tables fit a
+  single 64-bit simulation word.
+
+Determinism contract: the same ``Random`` state always yields the same
+instance, which is what makes fuzz failures replayable from a printed
+seed (see :mod:`repro.verify.fuzz`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..cloud.instance import InstanceFamily, VMConfig
+from ..core.optimize import ConfigOption, StageOptions
+from ..eda.job import EDAStage
+from ..netlist.aig import AIG, CONST_TRUE, lit_not
+from ..parallel.taskgraph import TaskGraph
+
+__all__ = [
+    "random_mckp_instance",
+    "random_task_graph",
+    "random_aig",
+    "random_recipe",
+    "random_spot_params",
+]
+
+#: Synthesis pass pool used by :func:`random_recipe`.
+RECIPE_POOL = ("balance", "rewrite", "refactor", "shuffle")
+
+
+def random_mckp_instance(
+    rng: random.Random,
+) -> Tuple[List[StageOptions], int]:
+    """Random small MCKP instance: (stage option lists, deadline seconds).
+
+    Deadlines are drawn from slightly below the fastest-everywhere total to
+    slightly above the slowest-everywhere total, so the fuzzer exercises
+    infeasible, tight, and slack regimes.
+    """
+    num_stages = rng.randint(1, 4)
+    stages: List[StageOptions] = []
+    for i, stage in enumerate(EDAStage.ordered()[:num_stages]):
+        options: List[ConfigOption] = []
+        for j in range(rng.randint(1, 4)):
+            vcpus = 2 ** rng.randint(0, 4)
+            vm = VMConfig(
+                name=f"fz{i}.{j}",
+                family=rng.choice(list(InstanceFamily)),
+                vcpus=vcpus,
+                memory_gb=4.0 * vcpus,
+                price_per_hour=round(rng.uniform(0.05, 3.0), 4),
+            )
+            runtime = rng.randint(1, 60)
+            options.append(
+                ConfigOption(
+                    vm=vm, runtime_seconds=runtime, price=vm.cost(runtime)
+                )
+            )
+        stages.append(StageOptions(stage=stage, options=options))
+    fastest = sum(min(o.runtime_seconds for o in s.options) for s in stages)
+    slowest = sum(max(o.runtime_seconds for o in s.options) for s in stages)
+    deadline = rng.randint(max(1, fastest - 5), slowest + 10)
+    return stages, deadline
+
+
+def random_task_graph(rng: random.Random) -> Tuple[TaskGraph, int]:
+    """Random DAG plus a worker count for the list-scheduler oracle.
+
+    Mixes short and long tasks (two orders of magnitude apart) so the
+    schedule stresses both the work-bound and the critical-path-bound side
+    of the Graham inequality.
+    """
+    graph = TaskGraph(name="fuzz")
+    num_tasks = rng.randint(1, 25)
+    ids: List[int] = []
+    for _ in range(num_tasks):
+        ndeps = rng.randint(0, min(3, len(ids)))
+        deps = rng.sample(ids, ndeps) if ndeps else []
+        if rng.random() < 0.5:
+            work = rng.uniform(0.01, 1.0)
+        else:
+            work = rng.uniform(1.0, 100.0)
+        ids.append(graph.add_task(work, deps))
+    workers = rng.randint(1, 8)
+    return graph, workers
+
+
+def random_aig(rng: random.Random) -> AIG:
+    """Random small multi-output AIG (2-6 inputs, up to ~40 operators).
+
+    Operators are drawn over earlier signals (including constants and
+    complemented literals), so the graph exercises constant propagation,
+    structural hashing, and shared fanout — all the paths the synthesis
+    passes must preserve.
+    """
+    aig = AIG("fuzz")
+    num_inputs = rng.randint(2, 6)
+    signals: List[int] = [aig.add_input() for _ in range(num_inputs)]
+    signals.append(CONST_TRUE)
+    for _ in range(rng.randint(3, 40)):
+        op = rng.choice(("and", "or", "xor", "mux", "maj"))
+        pick = lambda: (
+            lit_not(rng.choice(signals))
+            if rng.random() < 0.3
+            else rng.choice(signals)
+        )
+        if op == "and":
+            signals.append(aig.add_and(pick(), pick()))
+        elif op == "or":
+            signals.append(aig.add_or(pick(), pick()))
+        elif op == "xor":
+            signals.append(aig.add_xor(pick(), pick()))
+        elif op == "mux":
+            signals.append(aig.add_mux(pick(), pick(), pick()))
+        else:
+            signals.append(aig.add_maj(pick(), pick(), pick()))
+    for _ in range(rng.randint(1, 3)):
+        out = rng.choice(signals)
+        aig.add_output(lit_not(out) if rng.random() < 0.5 else out)
+    return aig
+
+
+def random_recipe(rng: random.Random) -> Tuple[Tuple[str, ...], int]:
+    """Random synthesis (recipe, seed) pair for the equivalence oracle."""
+    length = rng.randint(1, 3)
+    recipe = tuple(rng.choice(RECIPE_POOL) for _ in range(length))
+    return recipe, rng.randrange(1 << 30)
+
+
+def random_spot_params(
+    rng: random.Random,
+) -> Tuple[float, float, Optional[float]]:
+    """Random (runtime, interrupt rate per hour, checkpoint interval).
+
+    Occasionally emits the boundary cases (zero runtime, zero rate, no
+    checkpointing) the closed-form limit checks care about.
+    """
+    runtime = 0.0 if rng.random() < 0.05 else rng.uniform(1.0, 5000.0)
+    rate = 0.0 if rng.random() < 0.1 else rng.uniform(0.005, 2.0)
+    interval = None if rng.random() < 0.4 else rng.uniform(10.0, 2000.0)
+    return runtime, rate, interval

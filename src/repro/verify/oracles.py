@@ -1,0 +1,416 @@
+"""Cross-module differential oracles.
+
+Each oracle compares an optimized implementation against an independent
+reference and returns a list of human-readable violation messages (empty
+when the invariant holds):
+
+* :func:`mckp_violations` — the MCKP dynamic programs
+  (:func:`~repro.core.optimize.solve_mckp_dp`,
+  :func:`~repro.core.optimize.solve_min_cost_dp`) against the exhaustive
+  :func:`~repro.core.optimize.solve_brute_force` reference, plus greedy
+  feasibility/optimality sanity,
+* :func:`schedule_violations` — list-scheduler output validity (precedence,
+  one task per worker at a time) and the Graham makespan bounds
+  ``critical_path <= makespan <= work/k + critical_path``,
+* :func:`aig_equivalence_violations` — truth-table equivalence of synthesis
+  transforms (exhaustive up to 10 inputs, random signatures above),
+* :func:`cut_function_violations` — every enumerated cut's truth table
+  matches the node function obtained by exhaustive simulation,
+* :func:`spot_violations` — closed-form limit and monotonicity checks for
+  the spot-market runtime model.
+
+The checkers accept the implementation under test as an injectable
+parameter, so the mutation smoke tests can verify that a deliberately
+corrupted implementation *is* caught.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+from ..cloud.spot import spot_expected_runtime
+from ..core.optimize import (
+    Selection,
+    StageOptions,
+    selection_objective,
+    solve_brute_force,
+    solve_greedy,
+    solve_mckp_dp,
+    solve_min_cost_dp,
+)
+from ..eda.cuts import CutSet, enumerate_cuts
+from ..eda.synthesis import apply_recipe
+from ..eda.truthtables import var_table
+from ..netlist.aig import AIG, lit_is_complemented, lit_node
+from ..parallel.scheduler import ScheduleResult, list_schedule
+from ..parallel.taskgraph import TaskGraph
+
+__all__ = [
+    "mckp_violations",
+    "schedule_violations",
+    "aig_equivalence_violations",
+    "recipe_equivalence_violations",
+    "cut_function_violations",
+    "spot_violations",
+    "exhaustive_output_tables",
+    "node_value_words",
+]
+
+#: Relative tolerance for floating-point objective comparisons.
+REL_TOL = 1e-9
+#: Absolute slack for schedule time comparisons.
+TIME_EPS = 1e-9
+#: Exhaustive simulation is used up to this many primary inputs.
+EXHAUSTIVE_INPUT_LIMIT = 10
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# MCKP: DP vs brute force
+# ----------------------------------------------------------------------
+def _check_selection_shape(
+    selection: Selection,
+    stages: Sequence[StageOptions],
+    capacity: int,
+    label: str,
+    out: List[str],
+) -> None:
+    expected = {s.stage for s in stages}
+    got = set(selection.choices)
+    if got != expected:
+        out.append(f"{label}: covers stages {sorted(got)} != {sorted(expected)}")
+        return
+    for stage_opts in stages:
+        if selection.choices[stage_opts.stage] not in stage_opts.options:
+            out.append(
+                f"{label}: stage {stage_opts.stage.value} option not in its menu"
+            )
+    if selection.total_runtime > capacity:
+        out.append(
+            f"{label}: total runtime {selection.total_runtime} exceeds "
+            f"deadline {capacity}"
+        )
+
+
+def mckp_violations(
+    stages: Sequence[StageOptions],
+    deadline_seconds: float,
+    solver: Callable[..., Optional[Selection]] = solve_mckp_dp,
+    min_cost_solver: Callable[..., Optional[Selection]] = solve_min_cost_dp,
+) -> List[str]:
+    """Differential check of both DP objectives against brute force."""
+    out: List[str] = []
+    capacity = int(math.floor(deadline_seconds))
+    for maximize, impl, label in (
+        (True, solver, "mckp-dp"),
+        (False, min_cost_solver, "min-cost-dp"),
+    ):
+        reference = solve_brute_force(stages, deadline_seconds, maximize)
+        candidate = impl(stages, deadline_seconds)
+        if (reference is None) != (candidate is None):
+            out.append(
+                f"{label}: feasibility mismatch (brute force "
+                f"{'in' if reference is None else ''}feasible, dp "
+                f"{'in' if candidate is None else ''}feasible)"
+            )
+            continue
+        if reference is None or candidate is None:
+            continue
+        _check_selection_shape(candidate, stages, capacity, label, out)
+        ref_obj = selection_objective(reference, maximize)
+        cand_obj = selection_objective(candidate, maximize)
+        if not _close(ref_obj, cand_obj):
+            out.append(
+                f"{label}: objective {cand_obj!r} != brute-force optimum "
+                f"{ref_obj!r}"
+            )
+    # Greedy is a heuristic: it must agree on feasibility, stay feasible,
+    # and never beat the true min-cost optimum.
+    greedy = solve_greedy(stages, deadline_seconds)
+    reference = solve_brute_force(stages, deadline_seconds, False)
+    if (reference is None) != (greedy is None):
+        out.append("greedy: feasibility mismatch vs brute force")
+    elif greedy is not None and reference is not None:
+        _check_selection_shape(greedy, stages, capacity, "greedy", out)
+        if greedy.total_cost < reference.total_cost * (1.0 - REL_TOL) - 1e-12:
+            out.append(
+                f"greedy: cost {greedy.total_cost!r} beats the optimum "
+                f"{reference.total_cost!r}"
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scheduler: validity + Graham bounds
+# ----------------------------------------------------------------------
+def schedule_violations(
+    graph: TaskGraph,
+    workers: int,
+    result: Optional[ScheduleResult] = None,
+) -> List[str]:
+    """Check a schedule for validity and makespan bounds.
+
+    With ``result=None`` the schedule is produced by
+    :func:`~repro.parallel.scheduler.list_schedule`; the mutation tests
+    pass a tampered result instead.
+    """
+    out: List[str] = []
+    if result is None:
+        result = list_schedule(graph, workers)
+    tasks = graph.tasks
+    task_ids = {t.task_id for t in tasks}
+    if set(result.start_times) != task_ids or set(result.finish_times) != task_ids:
+        out.append("schedule: not every task was scheduled exactly once")
+        return out
+    by_task = {t.task_id: t for t in tasks}
+    for tid, task in by_task.items():
+        start = result.start_times[tid]
+        finish = result.finish_times[tid]
+        if start < -TIME_EPS:
+            out.append(f"task {tid}: negative start time {start!r}")
+        if not math.isclose(
+            finish - start, task.work, rel_tol=1e-9, abs_tol=TIME_EPS
+        ):
+            out.append(
+                f"task {tid}: duration {finish - start!r} != work {task.work!r}"
+            )
+        for dep in task.deps:
+            if start < result.finish_times[dep] - TIME_EPS:
+                out.append(
+                    f"task {tid}: starts at {start!r} before dependency "
+                    f"{dep} finishes at {result.finish_times[dep]!r}"
+                )
+    # One task per worker at a time.
+    per_worker: dict = {}
+    for tid, worker in result.worker_of.items():
+        per_worker.setdefault(worker, []).append(tid)
+    if tasks and set(result.worker_of) != task_ids:
+        out.append("schedule: worker assignment missing tasks")
+    for worker, tids in per_worker.items():
+        if not 0 <= worker < workers:
+            out.append(f"schedule: unknown worker id {worker}")
+        tids.sort(key=lambda t: result.start_times[t])
+        for prev, cur in zip(tids, tids[1:]):
+            if result.start_times[cur] < result.finish_times[prev] - TIME_EPS:
+                out.append(
+                    f"worker {worker}: tasks {prev} and {cur} overlap "
+                    f"({result.finish_times[prev]!r} > "
+                    f"{result.start_times[cur]!r})"
+                )
+    # Makespan bookkeeping and Graham bounds.
+    if tasks:
+        true_makespan = max(result.finish_times.values())
+        if not math.isclose(
+            result.makespan, true_makespan, rel_tol=1e-9, abs_tol=TIME_EPS
+        ):
+            out.append(
+                f"schedule: makespan {result.makespan!r} != max finish "
+                f"{true_makespan!r}"
+            )
+    critical = graph.critical_path()
+    lower = max(critical, graph.total_work / workers)
+    if result.makespan < lower - TIME_EPS - 1e-9 * lower:
+        out.append(
+            f"schedule: makespan {result.makespan!r} below lower bound "
+            f"{lower!r}"
+        )
+    upper = graph.total_work / workers + critical
+    if result.makespan > upper + TIME_EPS + 1e-9 * upper:
+        out.append(
+            f"schedule: makespan {result.makespan!r} exceeds Graham bound "
+            f"{upper!r}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# AIG: truth-table equivalence
+# ----------------------------------------------------------------------
+def exhaustive_output_tables(aig: AIG) -> List[int]:
+    """Per-output truth tables over all ``2**num_inputs`` patterns."""
+    n = aig.num_inputs
+    if n > EXHAUSTIVE_INPUT_LIMIT:
+        raise ValueError(
+            f"{n} inputs exceed the exhaustive limit {EXHAUSTIVE_INPUT_LIMIT}"
+        )
+    words = [var_table(j, n) for j in range(n)]
+    return aig.simulate(words, width=1 << n)
+
+
+def _signature_tables(aig: AIG, patterns: int, seed: int) -> List[int]:
+    return aig.random_simulation_signature(patterns=patterns, seed=seed)
+
+
+def aig_equivalence_violations(
+    original: AIG,
+    transformed: AIG,
+    label: str = "transform",
+    signature_patterns: int = 256,
+    signature_seed: int = 0,
+) -> List[str]:
+    """Check that a synthesis transform preserved the logic function.
+
+    Uses exhaustive truth tables when the input count allows (complete
+    equivalence), otherwise bit-parallel random-signature comparison (a
+    one-sided check: equal signatures do not prove equivalence, unequal
+    signatures disprove it).
+    """
+    out: List[str] = []
+    if original.num_inputs != transformed.num_inputs:
+        out.append(
+            f"{label}: input count changed "
+            f"{original.num_inputs} -> {transformed.num_inputs}"
+        )
+        return out
+    if original.num_outputs != transformed.num_outputs:
+        out.append(
+            f"{label}: output count changed "
+            f"{original.num_outputs} -> {transformed.num_outputs}"
+        )
+        return out
+    if original.num_inputs <= EXHAUSTIVE_INPUT_LIMIT:
+        before = exhaustive_output_tables(original)
+        after = exhaustive_output_tables(transformed)
+        how = "exhaustive"
+    else:
+        before = _signature_tables(original, signature_patterns, signature_seed)
+        after = _signature_tables(transformed, signature_patterns, signature_seed)
+        how = f"{signature_patterns}-pattern signature"
+    for idx, (b, a) in enumerate(zip(before, after)):
+        if b != a:
+            out.append(
+                f"{label}: output {idx} function changed ({how} mismatch, "
+                f"differing bits {bin(b ^ a).count('1')})"
+            )
+    return out
+
+
+def recipe_equivalence_violations(
+    aig: AIG, recipe: Sequence[str], seed: int
+) -> List[str]:
+    """Run a synthesis recipe and check function preservation."""
+    transformed = apply_recipe(aig, recipe, seed=seed)
+    return aig_equivalence_violations(
+        aig, transformed, label=f"recipe {'/'.join(recipe)}@{seed}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cuts: every cut table matches the node function
+# ----------------------------------------------------------------------
+def node_value_words(aig: AIG) -> List[int]:
+    """Exhaustive simulation value word for *every* node (not just outputs)."""
+    n = aig.num_inputs
+    if n > EXHAUSTIVE_INPUT_LIMIT:
+        raise ValueError(
+            f"{n} inputs exceed the exhaustive limit {EXHAUSTIVE_INPUT_LIMIT}"
+        )
+    width = 1 << n
+    mask = (1 << width) - 1
+    values = [0] * aig.size
+    for j, node in enumerate(aig.inputs):
+        values[node] = var_table(j, n)
+    for node in aig.and_nodes():
+        a, b = aig.fanins(node)
+        va = values[lit_node(a)] ^ (mask if lit_is_complemented(a) else 0)
+        vb = values[lit_node(b)] ^ (mask if lit_is_complemented(b) else 0)
+        values[node] = va & vb
+    return values
+
+
+def cut_function_violations(
+    aig: AIG,
+    k: int = 4,
+    cap: int = 6,
+    cuts: Optional[CutSet] = None,
+) -> List[str]:
+    """Check every enumerated cut's truth table against exhaustive simulation.
+
+    For each node and each of its cuts, the node's simulated value under
+    every input pattern must equal the cut table entry indexed by the
+    leaves' simulated values.  ``cuts`` may be supplied pre-tampered by the
+    mutation tests.
+    """
+    out: List[str] = []
+    if cuts is None:
+        cuts, _ = enumerate_cuts(aig, k=k, cap=cap)
+    values = node_value_words(aig)
+    width = 1 << aig.num_inputs
+    for node, node_cuts in cuts.items():
+        node_word = values[node]
+        for cut in node_cuts:
+            for p in range(width):
+                leaf_index = 0
+                for j, leaf in enumerate(cut.leaves):
+                    leaf_index |= ((values[leaf] >> p) & 1) << j
+                expected = (node_word >> p) & 1
+                got = (cut.table >> leaf_index) & 1
+                if expected != got:
+                    out.append(
+                        f"cut {cut.leaves} of node {node}: table bit "
+                        f"{leaf_index} is {got}, simulation says {expected} "
+                        f"(pattern {p})"
+                    )
+                    break  # one message per cut is enough
+    return out
+
+
+# ----------------------------------------------------------------------
+# Spot market: closed-form limits and monotonicity
+# ----------------------------------------------------------------------
+def spot_violations(
+    runtime_seconds: float,
+    interrupt_rate_per_hour: float,
+    checkpoint_interval_seconds: Optional[float] = None,
+    fn: Callable[..., float] = spot_expected_runtime,
+) -> List[str]:
+    """Property checks for the expected-runtime model.
+
+    Invariants: the expectation is at least the nominal runtime, matches
+    the closed form ``(e^{lam T} - 1)/lam`` without checkpointing, tends to
+    ``T`` as the rate tends to zero, is monotone in the interrupt rate, and
+    checkpointing never increases it.
+    """
+    out: List[str] = []
+    T, rate, interval = (
+        runtime_seconds,
+        interrupt_rate_per_hour,
+        checkpoint_interval_seconds,
+    )
+    expected = fn(T, rate, interval)
+    if expected < T * (1.0 - 1e-9) - 1e-9:
+        out.append(f"E[T]={expected!r} below nominal runtime {T!r}")
+    if T == 0 and expected != 0.0:
+        out.append(f"zero-runtime job has nonzero expectation {expected!r}")
+    if rate == 0 and not math.isclose(expected, T, rel_tol=1e-12):
+        out.append(f"rate=0 expectation {expected!r} != nominal {T!r}")
+    if interval is None and rate > 0 and T > 0:
+        lam = rate / 3600.0
+        closed = math.expm1(lam * T) / lam
+        if not math.isclose(expected, closed, rel_tol=1e-9):
+            out.append(
+                f"closed form mismatch: E[T]={expected!r} vs "
+                f"(e^(lam T)-1)/lam={closed!r}"
+            )
+    # Limit: rate -> 0 recovers the nominal runtime.
+    near_zero = fn(T, 1e-9, interval)
+    if not math.isclose(near_zero, T, rel_tol=1e-5, abs_tol=1e-6):
+        out.append(f"rate->0 limit {near_zero!r} != nominal {T!r}")
+    # Monotone in the interrupt rate.
+    higher = fn(T, rate * 1.5 + 0.01, interval)
+    if higher < expected * (1.0 - 1e-9) - 1e-9:
+        out.append(
+            f"not monotone in rate: E at higher rate {higher!r} < {expected!r}"
+        )
+    # Checkpointing never increases the expectation.
+    if interval is not None:
+        bare = fn(T, rate)
+        if expected > bare * (1.0 + 1e-9) + 1e-9:
+            out.append(
+                f"checkpointing increased E[T]: {expected!r} > {bare!r}"
+            )
+    return out

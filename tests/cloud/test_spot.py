@@ -48,6 +48,35 @@ class TestExpectedRuntime:
         ckpt = spot_expected_runtime(runtime, rate, checkpoint_interval_seconds=interval)
         assert ckpt <= raw * (1 + 1e-9)
 
+    @given(st.floats(1.0, 1e4), st.floats(0.0, 1.0), st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_interrupt_rate(self, runtime, rate, bump):
+        """More interruptions never reduce the expected completion time."""
+        low = spot_expected_runtime(runtime, rate)
+        high = spot_expected_runtime(runtime, rate + bump)
+        assert high >= low * (1 - 1e-12)
+
+    @given(st.floats(1.0, 1e4), st.floats(0.0, 1.0), st.floats(0.01, 1.0),
+           st.floats(10.0, 5e3))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_rate_with_checkpointing(
+        self, runtime, rate, bump, interval
+    ):
+        low = spot_expected_runtime(runtime, rate, interval)
+        high = spot_expected_runtime(runtime, rate + bump, interval)
+        assert high >= low * (1 - 1e-12)
+
+    @given(st.floats(1.0, 1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_vanishing_rate_recovers_nominal(self, runtime):
+        """E[T] -> T as the interrupt rate -> 0 (continuity at lam = 0)."""
+        assert spot_expected_runtime(runtime, 1e-9) == pytest.approx(
+            runtime, rel=1e-6
+        )
+        assert spot_expected_runtime(
+            runtime, 1e-9, checkpoint_interval_seconds=60.0
+        ) == pytest.approx(runtime, rel=1e-6)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             spot_expected_runtime(-1.0, 0.1)

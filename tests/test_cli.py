@@ -94,3 +94,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Recommended configuration" in out
         assert "saves" in out
+
+
+class TestVerifyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.trials == 200
+        assert args.seed == 0
+        assert args.oracle is None
+        assert args.replay_seed is None
+
+    def test_list_oracles(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mckp", "schedule", "aig", "cuts", "spot"):
+            assert name in out
+
+    def test_small_run_passes(self, capsys):
+        assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS: 5 oracles, 50 trials, 0 violations" in out
+
+    def test_run_is_deterministic(self, capsys):
+        main(["verify", "--trials", "8"])
+        first = capsys.readouterr().out
+        main(["verify", "--trials", "8"])
+        assert capsys.readouterr().out == first
+
+    def test_oracle_subset(self, capsys):
+        assert main(["verify", "--trials", "5", "--oracle", "spot"]) == 0
+        out = capsys.readouterr().out
+        assert "1 oracles, 5 trials" in out
+
+    def test_unknown_oracle_is_usage_error(self, capsys):
+        assert main(["verify", "--trials", "1", "--oracle", "nope"]) == 2
+
+    def test_replay_requires_single_oracle(self, capsys):
+        assert main(["verify", "--replay-seed", "1"]) == 2
+
+    def test_replay_passing_seed(self, capsys):
+        code = main(
+            ["verify", "--oracle", "schedule", "--replay-seed", "12345"]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
