@@ -12,8 +12,16 @@ Exposes the paper's workflow as terminal commands:
   predictors, report accuracy, optionally save the models.
 * ``repro benchmarks``   — list the designs shipped with the package.
 * ``repro verify``       — differential verification: fuzz the MCKP DP,
-  the list scheduler, the AIG transforms, and the spot model against
-  brute-force / closed-form oracles; exits non-zero on any violation.
+  the list scheduler, the AIG transforms, the spot model, and the plan
+  executor against brute-force / closed-form oracles; exits non-zero on
+  any violation.
+* ``repro execute``      — optimize a deployment, then *run* the plan on
+  the fault-injecting executor (spot preemptions, boot failures, retry
+  with backoff, on-demand fallback, mid-flight re-planning) and print
+  the replayable execution trace.
+* ``repro chaos``        — chaos harness: seeded executor fuzz plus the
+  Monte-Carlo convergence check against the closed-form spot model;
+  exits non-zero on any oracle violation.
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -25,6 +33,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .cloud.faults import PROFILES as FAULT_PROFILES
 from .core.characterize import characterize
 from .core.optimize import (
     build_stage_options,
@@ -130,6 +139,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ver.add_argument(
         "--list", action="store_true", help="list the registered oracles"
+    )
+
+    p_exec = sub.add_parser(
+        "execute",
+        help="optimize a deployment plan, then run it with fault injection",
+    )
+    p_exec.add_argument("--design", default="sparc_core")
+    p_exec.add_argument("--scale", type=float, default=1.0)
+    p_exec.add_argument("--sample-rate", type=int, default=4)
+    p_exec.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="total-runtime constraint in seconds (default: midpoint of the "
+        "fastest/slowest plans)",
+    )
+    p_exec.add_argument("--seed", type=int, default=0, help="execution seed")
+    p_exec.add_argument(
+        "--profile",
+        choices=sorted(FAULT_PROFILES),
+        default="calm",
+        help="fault profile to inject (default: calm)",
+    )
+    p_exec.add_argument(
+        "--spot",
+        action="store_true",
+        help="let the optimizer mix in spot instances (enables preemptions)",
+    )
+    p_exec.add_argument(
+        "--discount", type=float, default=0.3, help="spot price fraction"
+    )
+    p_exec.add_argument(
+        "--max-preemptions",
+        type=int,
+        default=3,
+        help="spot preemptions per stage before on-demand fallback",
+    )
+    p_exec.add_argument(
+        "--trace", action="store_true", help="print the full event trace"
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos harness: executor fuzz + convergence to the spot model",
+    )
+    p_chaos.add_argument(
+        "--trials", type=int, default=50, help="fuzz trials per chaos oracle"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="base seed (same seed = same report)"
+    )
+    p_chaos.add_argument(
+        "--convergence-trials",
+        type=int,
+        default=500,
+        help="Monte-Carlo trials for the headline convergence check",
     )
     return parser
 
@@ -253,6 +318,85 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_execute(args) -> int:
+    from .cloud.executor import ExecutionPolicy, PlanExecutor
+    from .cloud.spot import SpotMarket
+
+    report = characterize(
+        args.design, scale=args.scale, sample_rate=args.sample_rate
+    )
+    stages = build_stage_options(
+        report.stage_runtimes(), families=report.recommended_families()
+    )
+    profile = FAULT_PROFILES[args.profile]()
+    if args.spot:
+        market = SpotMarket(
+            discount=args.discount,
+            interrupt_rate_per_hour=profile.spot_interrupt_rate_per_hour,
+            checkpoint_interval_seconds=profile.checkpoint_interval_seconds,
+        )
+        stages = market.augment_stage_options(stages)
+    fastest = sum(s.fastest.runtime_seconds for s in stages)
+    slowest = sum(s.options[0].runtime_seconds for s in stages)
+    deadline = args.deadline if args.deadline else (fastest + slowest) // 2
+    selection = solve_mckp_dp(stages, deadline)
+    if selection is None:
+        print(f"deadline {deadline:,.0f}s is not achievable (NA)")
+        return 1
+    plan = selection.to_plan(args.design)
+    print(plan.summary())
+    policy = ExecutionPolicy(
+        max_preemptions_per_stage=args.max_preemptions,
+        spot_discount=args.discount,
+    )
+    result = PlanExecutor(profile=profile, policy=policy).execute(
+        plan, deadline_seconds=deadline, seed=args.seed, stage_options=stages
+    )
+    print(result.summary())
+    if args.trace:
+        print(result.trace.render())
+    return 0 if result.completed else 1
+
+
+def _cmd_chaos(args) -> int:
+    from .cloud.spot import spot_expected_runtime
+    from .verify import convergence_violations, run_fuzz
+
+    report = run_fuzz(
+        oracle_names=["executor", "chaos"],
+        trials=args.trials,
+        seed=args.seed,
+        progress=print,
+    )
+    print(report.render())
+    # Headline convergence check at the preemption-heavy profile: the
+    # executor's mean completion time must match the closed form.
+    heavy = FAULT_PROFILES["heavy"]()
+    runtime = 900.0
+    violations = convergence_violations(
+        runtime,
+        heavy.spot_interrupt_rate_per_hour,
+        heavy.checkpoint_interval_seconds,
+        trials=args.convergence_trials,
+        seed=args.seed,
+    )
+    expected = spot_expected_runtime(
+        runtime,
+        heavy.spot_interrupt_rate_per_hour,
+        heavy.checkpoint_interval_seconds,
+    )
+    if violations:
+        print(f"convergence (heavy profile, E[T]={expected:.1f}s): FAIL")
+        for message in violations:
+            print(f"  {message}")
+    else:
+        print(
+            f"convergence (heavy profile, {args.convergence_trials} trials): "
+            f"mean matches E[T]={expected:.1f}s within 5%"
+        )
+    return 0 if report.ok and not violations else 1
+
+
 def _cmd_benchmarks(_args) -> int:
     print(f"{'name':<14} {'kind':<12} note")
     for name in benchmarks.all_names():
@@ -268,6 +412,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "benchmarks": _cmd_benchmarks,
     "verify": _cmd_verify,
+    "execute": _cmd_execute,
+    "chaos": _cmd_chaos,
 }
 
 

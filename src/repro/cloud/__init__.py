@@ -16,6 +16,21 @@ from .provisioner import (
 )
 from .spot import SpotMarket, SpotQuote, spot_expected_runtime
 from .tenancy import NeighborLoad, TenancyModel
+from .events import EventKind, ExecutionEvent, ExecutionTrace
+from .faults import FaultInjector, FaultProfile
+
+# The executor re-plans through repro.core.optimize, which itself imports
+# the modules above — keep this import last so the partially-initialized
+# package already exposes them.
+from .executor import (
+    BilledSegment,
+    ExecutionPolicy,
+    ExecutionResult,
+    PlanExecutor,
+    RetryPolicy,
+    StageRecord,
+    simulate_spot_completion_times,
+)
 
 __all__ = [
     "InstanceFamily",
@@ -32,4 +47,16 @@ __all__ = [
     "spot_expected_runtime",
     "NeighborLoad",
     "TenancyModel",
+    "EventKind",
+    "ExecutionEvent",
+    "ExecutionTrace",
+    "FaultInjector",
+    "FaultProfile",
+    "BilledSegment",
+    "ExecutionPolicy",
+    "ExecutionResult",
+    "PlanExecutor",
+    "RetryPolicy",
+    "StageRecord",
+    "simulate_spot_completion_times",
 ]

@@ -69,7 +69,16 @@ class DeploymentPlan:
         return sum(a.cost for a in self.assignments)
 
     def meets_deadline(self, deadline_seconds: float) -> bool:
-        return self.total_runtime <= deadline_seconds
+        """Deadline check with a relative float tolerance.
+
+        Summing per-stage runtimes accumulates floating-point error; a
+        plan whose total equals the deadline up to 1e-9 relative error is
+        on-time, not late.
+        """
+        total = self.total_runtime
+        return total <= deadline_seconds or math.isclose(
+            total, deadline_seconds, rel_tol=1e-9
+        )
 
     def summary(self) -> str:
         """Human-readable plan, one line per stage plus totals."""

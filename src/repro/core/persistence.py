@@ -10,6 +10,8 @@ bit-exactly.
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from typing import Dict
 
 import numpy as np
@@ -57,17 +59,40 @@ def load_suite(path: str) -> PredictorSuite:
 
     Evaluation results are not persisted (they describe the training run,
     not the model); the restored predictors carry empty placeholders.
+
+    Truncated or otherwise corrupted archives raise a ``ValueError``
+    naming the archive path and, where applicable, the missing key —
+    never a bare ``KeyError`` from deep inside numpy.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["__version__"][0])
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, zlib.error, ValueError) as exc:
+        raise ValueError(
+            f"corrupted predictor archive {path!r}: {exc}"
+        ) from exc
+    with archive_cm as archive:
+
+        def require(key: str) -> np.ndarray:
+            if key not in archive:
+                raise ValueError(
+                    f"corrupted predictor archive {path!r}: missing key {key!r}"
+                )
+            return archive[key]
+
+        version = int(require("__version__")[0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported archive version {version}")
+        stage_names = require("__stages__")
+        if len(stage_names) == 0:
+            raise ValueError(
+                f"corrupted predictor archive {path!r}: '__stages__' is empty"
+            )
         suite = PredictorSuite()
-        for stage_name in archive["__stages__"]:
+        for stage_name in stage_names:
             stage = EDAStage(str(stage_name))
             prefix = f"{stage.value}/"
             feature_dim, hidden1, hidden2, fc_units, outputs = (
-                int(x) for x in archive[prefix + "arch"]
+                int(x) for x in require(prefix + "arch")
             )
             model = RuntimeGCN(
                 feature_dim=feature_dim,
@@ -75,13 +100,18 @@ def load_suite(path: str) -> PredictorSuite:
                 hidden2=hidden2,
                 fc_units=fc_units,
                 outputs=outputs,
-                pool=str(archive[prefix + "pool"][0]),
+                pool=str(require(prefix + "pool")[0]),
             )
             state = []
             i = 0
             while prefix + f"param{i}" in archive:
                 state.append(archive[prefix + f"param{i}"])
                 i += 1
+            if not state:
+                raise ValueError(
+                    f"corrupted predictor archive {path!r}: missing key "
+                    f"{prefix + 'param0'!r}"
+                )
             model.load_state_dict(state)
             placeholder_eval = EvalResult(
                 per_sample_error=np.zeros(0),
@@ -91,8 +121,8 @@ def load_suite(path: str) -> PredictorSuite:
             suite.predictors[stage] = StagePredictor(
                 stage=stage,
                 model=model,
-                target_offset=archive[prefix + "offset"],
-                target_std=archive[prefix + "std"],
+                target_offset=require(prefix + "offset"),
+                target_std=require(prefix + "std"),
                 train_result=TrainResult(),
                 train_eval=placeholder_eval,
                 test_eval=placeholder_eval,

@@ -9,7 +9,7 @@ configuration per stage under a deadline via the MCKP solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..cloud.instance import InstanceFamily
 from ..cloud.pricing import PricingTable, aws_like_catalog
@@ -38,6 +38,7 @@ class WorkflowOutcome:
     deadline_seconds: float
     predicted_runtimes: Dict[EDAStage, Dict[int, float]]
     selection: Optional[Selection]
+    stage_options: Optional[List[StageOptions]] = None
 
     @property
     def feasible(self) -> bool:
@@ -49,6 +50,30 @@ class WorkflowOutcome:
                 f"deadline {self.deadline_seconds}s is not achievable (NA)"
             )
         return self.selection.to_plan(self.design)
+
+    def execute(
+        self,
+        seed: int = 0,
+        profile=None,
+        policy=None,
+        record_events: bool = True,
+    ):
+        """Run the optimized plan on the fault-injecting executor.
+
+        The outcome's own option menus power mid-flight re-planning, so a
+        degraded run re-optimizes its remaining stages under the residual
+        deadline.  Returns an
+        :class:`~repro.cloud.executor.ExecutionResult`.
+        """
+        from ..cloud.executor import PlanExecutor
+
+        return PlanExecutor(profile=profile, policy=policy).execute(
+            self.plan(),
+            deadline_seconds=self.deadline_seconds,
+            seed=seed,
+            stage_options=self.stage_options,
+            record_events=record_events,
+        )
 
 
 class CloudDeploymentWorkflow:
@@ -125,6 +150,7 @@ class CloudDeploymentWorkflow:
             deadline_seconds=deadline_seconds,
             predicted_runtimes={k: dict(v) for k, v in stage_runtimes.items()},
             selection=selection,
+            stage_options=stages,
         )
 
     # -- end-to-end -------------------------------------------------------

@@ -21,7 +21,9 @@ from .fuzz import (
 )
 from .oracles import (
     aig_equivalence_violations,
+    convergence_violations,
     cut_function_violations,
+    execution_violations,
     exhaustive_output_tables,
     mckp_violations,
     node_value_words,
@@ -39,7 +41,9 @@ __all__ = [
     "run_trial",
     "trial_seed",
     "aig_equivalence_violations",
+    "convergence_violations",
     "cut_function_violations",
+    "execution_violations",
     "exhaustive_output_tables",
     "mckp_violations",
     "node_value_words",

@@ -66,6 +66,22 @@ def _spot_trial(rng: random.Random) -> List[str]:
     return oracles.spot_violations(runtime, rate, interval)
 
 
+def _executor_trial(rng: random.Random) -> List[str]:
+    plan, deadline, profile, policy, seed, menus = (
+        generators.random_execution_case(rng)
+    )
+    return oracles.execution_violations(
+        plan, deadline, profile, policy, seed, stage_options=menus
+    )
+
+
+def _chaos_trial(rng: random.Random) -> List[str]:
+    runtime, rate, interval = generators.random_chaos_params(rng)
+    return oracles.convergence_violations(
+        runtime, rate, interval, trials=500, seed=rng.randrange(1 << 30)
+    )
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -73,6 +89,8 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "aig": _aig_trial,
     "cuts": _cuts_trial,
     "spot": _spot_trial,
+    "executor": _executor_trial,
+    "chaos": _chaos_trial,
 }
 
 

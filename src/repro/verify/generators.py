@@ -19,7 +19,10 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from ..cloud.executor import ExecutionPolicy, RetryPolicy
+from ..cloud.faults import FaultProfile
 from ..cloud.instance import InstanceFamily, VMConfig
+from ..cloud.provisioner import DeploymentPlan
 from ..core.optimize import ConfigOption, StageOptions
 from ..eda.job import EDAStage
 from ..netlist.aig import AIG, CONST_TRUE, lit_not
@@ -31,6 +34,10 @@ __all__ = [
     "random_aig",
     "random_recipe",
     "random_spot_params",
+    "random_fault_profile",
+    "random_execution_policy",
+    "random_execution_case",
+    "random_chaos_params",
 ]
 
 #: Synthesis pass pool used by :func:`random_recipe`.
@@ -147,4 +154,108 @@ def random_spot_params(
     runtime = 0.0 if rng.random() < 0.05 else rng.uniform(1.0, 5000.0)
     rate = 0.0 if rng.random() < 0.1 else rng.uniform(0.005, 2.0)
     interval = None if rng.random() < 0.4 else rng.uniform(10.0, 2000.0)
+    return runtime, rate, interval
+
+
+def random_fault_profile(rng: random.Random) -> FaultProfile:
+    """Random fault rates spanning calm pools to outright chaos.
+
+    The fuzzed stage runtimes are tens of seconds, so preemption rates go
+    up to hundreds per hour — that is what makes the K-preemption fallback
+    and timeout paths fire inside a 60-second stage.
+    """
+    return FaultProfile(
+        spot_interrupt_rate_per_hour=(
+            0.0 if rng.random() < 0.25 else rng.uniform(10.0, 400.0)
+        ),
+        boot_failure_prob=0.0 if rng.random() < 0.4 else rng.uniform(0.0, 0.2),
+        api_error_prob=0.0 if rng.random() < 0.4 else rng.uniform(0.0, 0.2),
+        straggler_prob=0.0 if rng.random() < 0.5 else rng.uniform(0.0, 0.3),
+        straggler_slowdown=rng.uniform(1.1, 2.5),
+        checkpoint_interval_seconds=(
+            None if rng.random() < 0.35 else rng.uniform(2.0, 40.0)
+        ),
+    )
+
+
+def random_execution_policy(rng: random.Random, discount: float) -> ExecutionPolicy:
+    """Random robustness policy (retry budgets, fallback cap, timeouts)."""
+    return ExecutionPolicy(
+        retry=RetryPolicy(
+            max_retries=rng.randint(0, 4),
+            backoff_base_seconds=rng.uniform(0.5, 5.0),
+            backoff_multiplier=rng.uniform(1.0, 3.0),
+            backoff_max_seconds=rng.uniform(10.0, 200.0),
+            jitter_fraction=rng.uniform(0.0, 0.5),
+        ),
+        max_preemptions_per_stage=(
+            None if rng.random() < 0.2 else rng.randint(1, 5)
+        ),
+        timeout_stretch=None if rng.random() < 0.3 else rng.uniform(1.5, 6.0),
+        replan_on_fallback=rng.random() < 0.8,
+        replan_excludes_spot=rng.random() < 0.8,
+        spot_discount=discount,
+    )
+
+
+def random_execution_case(rng: random.Random):
+    """One executor fuzz case: plan, deadline, profile, policy, seed, menus.
+
+    Builds on :func:`random_mckp_instance`, mints a spot twin for every
+    on-demand option (so fallback can find its catalog twin), then picks
+    one option per stage — spot-biased, so the preemption machinery is
+    exercised — as the plan under execution.
+    """
+    stages, _ = random_mckp_instance(rng)
+    discount = rng.uniform(0.2, 0.5)
+    menus: List[StageOptions] = []
+    plan = DeploymentPlan(design="fuzz-exec")
+    for so in stages:
+        options = list(so.options)
+        for opt in so.options:
+            spot_vm = VMConfig(
+                name=f"{opt.vm.name}.spot",
+                family=opt.vm.family,
+                vcpus=opt.vm.vcpus,
+                memory_gb=opt.vm.memory_gb,
+                price_per_hour=opt.vm.price_per_hour * discount,
+                avx=opt.vm.avx,
+            )
+            options.append(
+                ConfigOption(
+                    vm=spot_vm,
+                    runtime_seconds=opt.runtime_seconds,
+                    price=spot_vm.cost(opt.runtime_seconds),
+                )
+            )
+        menus.append(StageOptions(stage=so.stage, options=options))
+        spot_half = options[len(options) // 2 :]
+        pick = rng.choice(spot_half if rng.random() < 0.7 else options)
+        plan.add(so.stage, pick.vm, pick.runtime_seconds)
+    profile = random_fault_profile(rng)
+    policy = random_execution_policy(rng, discount)
+    seed = rng.randrange(1 << 30)
+    deadline = float(
+        rng.randint(
+            max(1, int(plan.total_runtime * 0.8)),
+            int(plan.total_runtime * 6) + 60,
+        )
+    )
+    return plan, deadline, profile, policy, seed, menus
+
+
+def random_chaos_params(
+    rng: random.Random,
+) -> Tuple[float, float, Optional[float]]:
+    """Random (runtime, rate, checkpoint interval) for the convergence oracle.
+
+    Bounded so ``lambda * segment <= 1.2``: above that the restart
+    distribution's tail makes a 500-trial mean estimate too noisy for a
+    5% tolerance; below it the standard error stays under ~2.5%.
+    """
+    interval = None if rng.random() < 0.3 else rng.uniform(30.0, 400.0)
+    runtime = rng.uniform(100.0, 1200.0)
+    segment = runtime if interval is None else min(interval, runtime)
+    max_rate = 1.2 * 3600.0 / segment
+    rate = rng.uniform(0.2, min(3.0, max_rate))
     return runtime, rate, interval

@@ -29,6 +29,15 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Sequence
 
+from ..cloud.events import EventKind
+from ..cloud.executor import (
+    ExecutionPolicy,
+    ExecutionResult,
+    PlanExecutor,
+    simulate_spot_completion_times,
+)
+from ..cloud.faults import FaultProfile
+from ..cloud.provisioner import DeploymentPlan
 from ..cloud.spot import spot_expected_runtime
 from ..core.optimize import (
     Selection,
@@ -53,6 +62,8 @@ __all__ = [
     "recipe_equivalence_violations",
     "cut_function_violations",
     "spot_violations",
+    "execution_violations",
+    "convergence_violations",
     "exhaustive_output_tables",
     "node_value_words",
 ]
@@ -356,6 +367,216 @@ def cut_function_violations(
                         f"(pattern {p})"
                     )
                     break  # one message per cut is enough
+    return out
+
+
+# ----------------------------------------------------------------------
+# Executor: trace validity, determinism, billing consistency
+# ----------------------------------------------------------------------
+def execution_violations(
+    plan: DeploymentPlan,
+    deadline_seconds: float,
+    profile: FaultProfile,
+    policy: ExecutionPolicy,
+    seed: int,
+    stage_options: Optional[Sequence] = None,
+    result: Optional[ExecutionResult] = None,
+) -> List[str]:
+    """Audit one plan execution against the robustness invariants.
+
+    With ``result=None`` the executor runs twice from the same seed (the
+    determinism check is part of the oracle); the mutation tests pass a
+    tampered :class:`ExecutionResult` instead.  Checks: event causality
+    (monotone time, no stage starting before its predecessor commits),
+    retry and preemption counts within policy, billing consistency (final
+    cost equals the sum of billed segments equals the trace's billed
+    events), completion bookkeeping, and — with faults disabled — exact
+    reproduction of the plan's nominal runtime and cost.
+    """
+    out: List[str] = []
+    if result is None:
+        result = PlanExecutor(profile, policy).execute(
+            plan, deadline_seconds, seed=seed, stage_options=stage_options
+        )
+        again = PlanExecutor(profile, policy).execute(
+            plan, deadline_seconds, seed=seed, stage_options=stage_options
+        )
+        if again.trace.events != result.trace.events:
+            out.append("executor: same seed produced a different trace")
+    trace = result.trace
+    events = trace.events
+
+    for prev, e in zip(events, events[1:]):
+        if e.seq != prev.seq + 1:
+            out.append(f"trace: seq jumps {prev.seq} -> {e.seq}")
+        if e.time < prev.time - TIME_EPS:
+            out.append(
+                f"trace: time goes backwards at seq {e.seq} "
+                f"({prev.time!r} -> {e.time!r})"
+            )
+
+    # Causality: stages are strictly serial — a stage may only start once
+    # the previous one has committed.
+    open_stage: Optional[str] = None
+    commits: List[str] = []
+    for e in events:
+        if e.kind == EventKind.STAGE_START:
+            if open_stage is not None:
+                out.append(
+                    f"trace: stage {e.stage} starts before {open_stage} commits"
+                )
+            open_stage = e.stage
+        elif e.kind == EventKind.STAGE_COMMIT:
+            if open_stage != e.stage:
+                out.append(f"trace: commit of {e.stage} without an open start")
+            commits.append(e.stage)
+            open_stage = None
+
+    # Policy bounds: retries and preemptions never exceed configuration.
+    cap = policy.max_preemptions_per_stage
+    for stage in sorted({e.stage for e in events if e.stage}):
+        backoffs = trace.count(EventKind.BACKOFF, stage)
+        if backoffs > policy.retry.max_retries:
+            out.append(
+                f"stage {stage}: {backoffs} retries exceed policy "
+                f"max_retries={policy.retry.max_retries}"
+            )
+        failures = trace.count(EventKind.BOOT_FAILURE, stage) + trace.count(
+            EventKind.API_ERROR, stage
+        )
+        if failures > policy.retry.max_retries + 1:
+            out.append(
+                f"stage {stage}: {failures} provisioning failures exceed "
+                f"the retry budget"
+            )
+        preemptions = trace.preemptions(stage)
+        if cap is not None and preemptions > cap:
+            out.append(
+                f"stage {stage}: {preemptions} preemptions exceed the "
+                f"fallback cap {cap}"
+            )
+
+    # Billing: one source of truth, three views of it.
+    segment_cost = sum(s.cost for s in result.segments)
+    if not _close(result.total_cost, segment_cost):
+        out.append(
+            f"billing: total cost {result.total_cost!r} != sum of billed "
+            f"segments {segment_cost!r}"
+        )
+    if not _close(result.total_cost, trace.billed_cost):
+        out.append(
+            f"billing: total cost {result.total_cost!r} != trace billed "
+            f"cost {trace.billed_cost!r}"
+        )
+
+    # Completion bookkeeping.
+    n_stages = len(plan.assignments)
+    if result.completed:
+        if len(commits) != n_stages:
+            out.append(
+                f"completed flow committed {len(commits)} of {n_stages} stages"
+            )
+        if trace.count(EventKind.FLOW_COMPLETE) != 1:
+            out.append("completed flow lacks a flow_complete event")
+    else:
+        if trace.count(EventKind.FLOW_FAIL) != 1:
+            out.append("failed flow lacks a flow_fail event")
+        if trace.count(EventKind.STAGE_ABORT) < 1:
+            out.append("failed flow lacks a stage_abort event")
+    if events and abs(result.total_time - events[-1].time) > 1e-6:
+        out.append(
+            f"total time {result.total_time!r} != last event time "
+            f"{events[-1].time!r}"
+        )
+
+    # Fault-free executions reproduce the plan exactly.
+    if profile.fault_free:
+        if not math.isclose(
+            result.total_time, plan.total_runtime, rel_tol=1e-12, abs_tol=1e-9
+        ):
+            out.append(
+                f"fault-free run took {result.total_time!r}, plan nominal "
+                f"is {plan.total_runtime!r}"
+            )
+        if not _close(result.total_cost, plan.total_cost):
+            out.append(
+                f"fault-free run cost {result.total_cost!r}, plan cost "
+                f"is {plan.total_cost!r}"
+            )
+        if trace.preemptions() != 0:
+            out.append("fault-free run recorded preemptions")
+    return out
+
+
+def convergence_violations(
+    runtime_seconds: float,
+    interrupt_rate_per_hour: float,
+    checkpoint_interval_seconds: Optional[float] = None,
+    trials: int = 500,
+    seed: int = 0,
+    rel_tol: float = 0.05,
+    simulate: Callable[..., List[float]] = simulate_spot_completion_times,
+) -> List[str]:
+    """Monte-Carlo executor vs the closed-form spot runtime model.
+
+    The executor's checkpoint/restart semantics under Poisson preemptions
+    must *be* the process :func:`spot_expected_runtime` takes the
+    expectation of — so the mean of ``trials`` simulated completions has
+    to land within ``rel_tol`` of the closed form, and no completion may
+    beat the nominal runtime.
+    """
+    import zlib
+
+    out: List[str] = []
+    times = simulate(
+        runtime_seconds,
+        interrupt_rate_per_hour,
+        checkpoint_interval_seconds,
+        trials=trials,
+        seed=seed,
+    )
+    if len(times) != trials:
+        out.append(f"simulator returned {len(times)} of {trials} trials")
+        return out
+    below = sum(1 for t in times if t < runtime_seconds * (1.0 - 1e-9))
+    if below:
+        out.append(
+            f"{below} of {trials} completions beat the nominal runtime "
+            f"{runtime_seconds!r}"
+        )
+    expected = spot_expected_runtime(
+        runtime_seconds, interrupt_rate_per_hour, checkpoint_interval_seconds
+    )
+    # A correct executor's estimator is unbiased but noisy (restart
+    # distributions are heavy-tailed).  When the first batch is not
+    # comfortably inside the tolerance band, extend the sample with
+    # further seed-derived batches — deterministic, and the mean of a
+    # faithful simulator tightens toward the closed form, while a biased
+    # one stays out.
+    mean = sum(times) / len(times)
+    batches = 1
+    while (
+        abs(mean - expected) > 0.6 * rel_tol * expected
+        and len(times) < 8 * trials
+    ):
+        extend_seed = zlib.crc32(f"extend:{seed}:{batches}".encode())
+        times.extend(
+            simulate(
+                runtime_seconds,
+                interrupt_rate_per_hour,
+                checkpoint_interval_seconds,
+                trials=trials,
+                seed=extend_seed,
+            )
+        )
+        batches += 1
+        mean = sum(times) / len(times)
+    if abs(mean - expected) > rel_tol * expected:
+        out.append(
+            f"mean simulated completion {mean!r} deviates from the closed "
+            f"form {expected!r} by {abs(mean - expected) / expected:.2%} "
+            f"(> {rel_tol:.0%} over {len(times)} trials)"
+        )
     return out
 
 

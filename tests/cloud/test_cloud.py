@@ -162,6 +162,21 @@ class TestDeploymentPlan:
         with pytest.raises(KeyError):
             uniform_plan("d", {EDAStage.STA: {1: 10.0}}, vcpus=4, catalog=catalog)
 
+    def test_meets_deadline_float_boundary(self):
+        """Accumulated float error must not flip an on-time plan to late.
+
+        Three 0.1s stages sum to 0.30000000000000004 in binary floating
+        point; a 0.3s deadline is met, not missed by 4e-17 seconds.
+        """
+        vm = VMConfig("t", InstanceFamily.GENERAL_PURPOSE, 2, 8.0, 1.0)
+        plan = DeploymentPlan(design="fp")
+        for stage in (EDAStage.SYNTHESIS, EDAStage.PLACEMENT, EDAStage.ROUTING):
+            plan.add(stage, vm, 0.1)
+        assert plan.total_runtime > 0.3  # the raw sum really is over
+        assert plan.meets_deadline(0.3)
+        assert plan.meets_deadline(plan.total_runtime)
+        assert not plan.meets_deadline(0.2999)
+
     def test_summary_contains_total(self, catalog):
         plan = uniform_plan(
             "design_x", {EDAStage.STA: {1: 10.0}}, vcpus=1, catalog=catalog

@@ -61,3 +61,67 @@ def test_bad_version_rejected(tmp_path, trained_suite):
     np.savez_compressed(path, **data)
     with pytest.raises(ValueError):
         load_suite(path)
+
+
+def _resave_without(path, predicate):
+    """Round-trip the archive, dropping every key matching ``predicate``."""
+    data = dict(np.load(path, allow_pickle=False))
+    np.savez_compressed(
+        path, **{k: v for k, v in data.items() if not predicate(k)}
+    )
+
+
+class TestCorruptArchives:
+    """Corrupt/truncated archives must raise a ValueError naming the
+    archive path and the missing key — never a bare KeyError or zlib
+    error from deep inside numpy."""
+
+    def test_truncated_archive(self, tmp_path, trained_suite):
+        path = str(tmp_path / "suite.npz")
+        save_suite(trained_suite, path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="corrupted predictor archive"):
+            load_suite(path)
+
+    def test_not_an_archive_at_all(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        open(path, "wb").write(b"this is not a zip file")
+        with pytest.raises(ValueError, match="corrupted predictor archive"):
+            load_suite(path)
+
+    def test_missing_stage_index(self, tmp_path, trained_suite):
+        path = str(tmp_path / "suite.npz")
+        save_suite(trained_suite, path)
+        _resave_without(path, lambda k: k == "__stages__")
+        with pytest.raises(ValueError, match="missing key '__stages__'"):
+            load_suite(path)
+
+    def test_empty_stage_index(self, tmp_path, trained_suite):
+        path = str(tmp_path / "suite.npz")
+        save_suite(trained_suite, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["__stages__"] = np.array([], dtype="U16")
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="'__stages__' is empty"):
+            load_suite(path)
+
+    def test_missing_metadata_key(self, tmp_path, trained_suite):
+        path = str(tmp_path / "suite.npz")
+        save_suite(trained_suite, path)
+        _resave_without(path, lambda k: k.endswith("/offset"))
+        with pytest.raises(ValueError, match="missing key") as info:
+            load_suite(path)
+        assert "/offset" in str(info.value)
+        assert path in str(info.value)
+
+    def test_missing_weights(self, tmp_path, trained_suite):
+        path = str(tmp_path / "suite.npz")
+        save_suite(trained_suite, path)
+        stage = next(iter(trained_suite.predictors)).value
+        _resave_without(
+            path, lambda k: k.startswith(f"{stage}/param")
+        )
+        with pytest.raises(ValueError, match="missing key") as info:
+            load_suite(path)
+        assert f"{stage}/param0" in str(info.value)

@@ -107,13 +107,14 @@ class TestVerifyCommand:
     def test_list_oracles(self, capsys):
         assert main(["verify", "--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("mckp", "schedule", "aig", "cuts", "spot"):
+        for name in ("mckp", "schedule", "aig", "cuts", "spot", "executor",
+                     "chaos"):
             assert name in out
 
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 5 oracles, 50 trials, 0 violations" in out
+        assert "PASS: 7 oracles, 70 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])
@@ -138,3 +139,83 @@ class TestVerifyCommand:
         )
         assert code == 0
         assert "ok" in capsys.readouterr().out
+
+
+class TestExecuteCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["execute"])
+        assert args.design == "sparc_core"
+        assert args.profile == "calm"
+        assert args.seed == 0
+        assert args.deadline is None
+        assert args.max_preemptions == 3
+        assert not args.spot and not args.trace
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["execute", "--profile", "volcanic"])
+
+    def test_fault_free_execution_completes(self, capsys):
+        code = main(
+            [
+                "execute",
+                "--design",
+                "router",
+                "--scale",
+                "0.5",
+                "--sample-rate",
+                "8",
+                "--profile",
+                "none",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out
+        assert "deadline" in out
+
+    def test_spot_execution_with_trace(self, capsys):
+        code = main(
+            [
+                "execute",
+                "--design",
+                "router",
+                "--scale",
+                "0.5",
+                "--sample-rate",
+                "8",
+                "--profile",
+                "heavy",
+                "--spot",
+                "--trace",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution trace" in out
+        assert "flow_complete" in out
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.trials == 50
+        assert args.seed == 0
+        assert args.convergence_trials == 500
+
+    def test_small_run_passes(self, capsys):
+        code = main(
+            ["chaos", "--trials", "3", "--convergence-trials", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "convergence" in out
+
+    def test_run_is_deterministic(self, capsys):
+        main(["chaos", "--trials", "3", "--convergence-trials", "150"])
+        first = capsys.readouterr().out
+        main(["chaos", "--trials", "3", "--convergence-trials", "150"])
+        assert capsys.readouterr().out == first

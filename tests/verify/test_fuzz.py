@@ -29,7 +29,15 @@ class TestDeterminism:
 
 class TestDriver:
     def test_all_oracles_registered(self):
-        assert list(ORACLES) == ["mckp", "schedule", "aig", "cuts", "spot"]
+        assert list(ORACLES) == [
+            "mckp",
+            "schedule",
+            "aig",
+            "cuts",
+            "spot",
+            "executor",
+            "chaos",
+        ]
 
     def test_oracle_subset(self):
         report = run_fuzz(oracle_names=["spot"], trials=10, seed=3)

@@ -24,9 +24,14 @@ from repro.eda.job import EDAStage
 from repro.eda.synthesis import balance
 from repro.netlist.aig import lit_not
 from repro.parallel.scheduler import list_schedule
+from repro.cloud.events import EventKind
+from repro.cloud.executor import ExecutionPolicy, PlanExecutor
+from repro.cloud.faults import FaultProfile
 from repro.verify import (
     aig_equivalence_violations,
+    convergence_violations,
     cut_function_violations,
+    execution_violations,
     mckp_violations,
     node_value_words,
     recipe_equivalence_violations,
@@ -35,6 +40,7 @@ from repro.verify import (
 )
 from repro.verify.generators import (
     random_aig,
+    random_execution_case,
     random_mckp_instance,
     random_recipe,
     random_spot_params,
@@ -251,3 +257,143 @@ class TestSpotOracle:
 
         violations = spot_violations(1000.0, 0.5, None, fn=mutant)
         assert any("closed form mismatch" in v for v in violations)
+
+
+class TestExecutionOracle:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_real_executor_passes(self, seed):
+        plan, deadline, profile, policy, eseed, menus = random_execution_case(
+            random.Random(seed)
+        )
+        assert (
+            execution_violations(
+                plan, deadline, profile, policy, eseed, stage_options=menus
+            )
+            == []
+        )
+
+    def _case_and_result(self, profile=None, policy=None):
+        plan, deadline, _, _, _, menus = random_execution_case(random.Random(4))
+        profile = profile if profile is not None else FaultProfile.none()
+        policy = policy if policy is not None else ExecutionPolicy()
+        result = PlanExecutor(profile, policy).execute(
+            plan, deadline, seed=9, stage_options=menus
+        )
+        return plan, deadline, profile, policy, result
+
+    def _audit(self, plan, deadline, profile, policy, result):
+        return execution_violations(
+            plan, deadline, profile, policy, seed=9, result=result
+        )
+
+    def test_catches_billing_lie(self):
+        plan, deadline, profile, policy, result = self._case_and_result()
+        result.total_cost *= 1.5
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("sum of billed segments" in v for v in violations)
+
+    def test_catches_causality_violation(self):
+        """Tampered trace where stage 2 starts before stage 1 commits."""
+        import dataclasses
+
+        plan, deadline, profile, policy, result = self._case_and_result()
+        events = result.trace.events
+        commits = [
+            i for i, e in enumerate(events) if e.kind == EventKind.STAGE_COMMIT
+        ]
+        starts = [
+            i for i, e in enumerate(events) if e.kind == EventKind.STAGE_START
+        ]
+        if len(starts) < 2:
+            pytest.skip("case has a single stage")
+        # Swap the first commit with the following start, keeping seq
+        # numbers contiguous so only the causality check can fire.
+        i, j = commits[0], starts[1]
+        events[i], events[j] = (
+            dataclasses.replace(events[j], seq=i, time=events[i].time),
+            dataclasses.replace(events[i], seq=j, time=events[j].time),
+        )
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("before" in v and "commits" in v for v in violations)
+
+    def test_catches_excess_retries(self):
+        plan, deadline, profile, policy, result = self._case_and_result()
+        stage = plan.assignments[0].stage.value
+        for extra in range(policy.retry.max_retries + 2):
+            result.trace.record(
+                result.total_time,
+                EventKind.BACKOFF,
+                stage=stage,
+                attempt=extra,
+                seconds=1.0,
+            )
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("exceed policy" in v for v in violations)
+
+    def test_catches_time_reversal(self):
+        import dataclasses
+
+        plan, deadline, profile, policy, result = self._case_and_result()
+        events = result.trace.events
+        events[1] = dataclasses.replace(events[1], time=-5.0)
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("time goes backwards" in v for v in violations)
+
+    def test_catches_fault_free_runtime_drift(self):
+        plan, deadline, profile, policy, result = self._case_and_result()
+        result.total_time += 10.0
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("fault-free run took" in v for v in violations)
+
+    def test_catches_preemption_cap_breach(self):
+        policy = ExecutionPolicy(max_preemptions_per_stage=1)
+        plan, deadline, profile, _, result = self._case_and_result(policy=policy)
+        stage = plan.assignments[0].stage.value
+        for count in (1, 2):
+            result.trace.record(
+                result.total_time,
+                EventKind.PREEMPTION,
+                stage=stage,
+                lost=1.0,
+                count=count,
+            )
+        violations = self._audit(plan, deadline, profile, policy, result)
+        assert any("exceed the fallback cap" in v for v in violations)
+
+
+class TestConvergenceOracle:
+    @pytest.mark.chaos
+    @pytest.mark.parametrize(
+        "runtime,rate,interval",
+        [(900.0, 1.5, 120.0), (700.0, 2.0, None)],
+    )
+    def test_real_executor_converges(self, runtime, rate, interval):
+        assert convergence_violations(runtime, rate, interval, seed=0) == []
+
+    def test_catches_sub_nominal_completions(self):
+        def mutant(runtime, rate, interval=None, trials=500, seed=0):
+            return [runtime * 0.9] * trials
+
+        violations = convergence_violations(
+            500.0, 1.0, None, trials=20, simulate=mutant
+        )
+        assert any("beat the nominal runtime" in v for v in violations)
+
+    def test_catches_biased_mean(self):
+        def mutant(runtime, rate, interval=None, trials=500, seed=0):
+            # Ignores preemptions entirely: always the nominal runtime.
+            return [runtime] * trials
+
+        violations = convergence_violations(
+            500.0, 2.0, None, trials=20, simulate=mutant
+        )
+        assert any("deviates from the closed form" in v for v in violations)
+
+    def test_catches_short_sample(self):
+        def mutant(runtime, rate, interval=None, trials=500, seed=0):
+            return [runtime]
+
+        violations = convergence_violations(
+            500.0, 1.0, None, trials=20, simulate=mutant
+        )
+        assert any("simulator returned" in v for v in violations)
