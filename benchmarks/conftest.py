@@ -11,28 +11,18 @@ come from the environment so a "paper-sized" run is one variable away:
 * ``REPRO_FIG5_EPOCHS``      — GCN training epochs (default 60; paper 200)
 """
 
-import os
-
 import pytest
 
 from repro.core.characterize import characterize
+from repro.core.env import env_float, env_int
 from repro.core.optimize import build_stage_options
 from repro.core.predict import DatasetSpec, build_datasets
 
-
-def _env_float(name, default):
-    return float(os.environ.get(name, default))
-
-
-def _env_int(name, default):
-    return int(os.environ.get(name, default))
-
-
-BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 1.5)
-SAMPLE_RATE = _env_int("REPRO_BENCH_SAMPLE_RATE", 2)
-FIG5_VARIANTS = _env_int("REPRO_FIG5_VARIANTS", 6)
-FIG5_EPOCHS = _env_int("REPRO_FIG5_EPOCHS", 60)
-FIG5_SCALE = _env_float("REPRO_FIG5_SCALE", 0.45)
+BENCH_SCALE = env_float("REPRO_BENCH_SCALE", 1.5)
+SAMPLE_RATE = env_int("REPRO_BENCH_SAMPLE_RATE", 2)
+FIG5_VARIANTS = env_int("REPRO_FIG5_VARIANTS", 6)
+FIG5_EPOCHS = env_int("REPRO_FIG5_EPOCHS", 60)
+FIG5_SCALE = env_float("REPRO_FIG5_SCALE", 0.45)
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,12 @@ Exposes the paper's workflow as terminal commands:
 * ``repro chaos``        — chaos harness: seeded executor fuzz plus the
   Monte-Carlo convergence check against the closed-form spot model;
   exits non-zero on any oracle violation.
+* ``repro trace``        — run a workload (flow or plan execution) under
+  the observability tracer and print/export the hierarchical span tree
+  (text, JSON, or Chrome ``chrome://tracing`` format) plus metrics.
+* ``repro bench``        — run the fixed-seed bench workload matrix,
+  write ``BENCH_<rev>.json``, and optionally compare against a baseline
+  file (non-zero exit on regression beyond the tolerance).
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -195,6 +201,63 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=500,
         help="Monte-Carlo trials for the headline convergence check",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a workload under the tracer and print the span tree",
+    )
+    p_trace.add_argument(
+        "--workload",
+        choices=["flow", "execute"],
+        default="flow",
+        help="what to trace (default: flow)",
+    )
+    p_trace.add_argument("--design", default="ctrl")
+    p_trace.add_argument("--scale", type=float, default=0.5)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--profile",
+        choices=sorted(FAULT_PROFILES),
+        default="calm",
+        help="fault profile for --workload execute",
+    )
+    p_trace.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="tick clock + counter IDs: byte-stable trace output",
+    )
+    p_trace.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the repro-trace/1 JSON document here",
+    )
+    p_trace.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="write a chrome://tracing trace-event file here",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the fixed-seed bench matrix and write BENCH_<rev>.json",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--design", default="ctrl")
+    p_bench.add_argument("--scale", type=float, default=0.3)
+    p_bench.add_argument("--epochs", type=int, default=3)
+    p_bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory to write BENCH_<rev>.json into (default: .)",
+    )
+    p_bench.add_argument(
+        "--rev", default=None, help="revision label (default: git short rev)"
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare timings against this bench file",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=25.0, metavar="PCT",
+        help="allowed slowdown vs the baseline in percent (default: 25)",
     )
     return parser
 
@@ -397,6 +460,120 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok and not violations else 1
 
 
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    from .obs import MetricsRegistry, Tracer, scoped
+    from .obs.export import (
+        render_metrics,
+        render_tree,
+        to_chrome_trace,
+        to_json_doc,
+    )
+
+    tracer = Tracer(deterministic=args.deterministic)
+    registry = MetricsRegistry()
+    with scoped(tracer=tracer, metrics=registry):
+        if args.workload == "flow":
+            from .perf import make_instrument
+
+            runner = FlowRunner(seed=args.seed)
+            aig = benchmarks.build(args.design, args.scale)
+            instruments = {
+                stage: make_instrument(4, sample_rate=4)
+                for stage in EDAStage.ordered()
+            }
+            runner.run(aig, seed=args.seed, instruments=instruments)
+        else:
+            from .cloud.executor import ExecutionPolicy, PlanExecutor
+            from .obs.bench import _bench_plan
+
+            runner = FlowRunner(seed=args.seed)
+            aig = benchmarks.build(args.design, args.scale)
+            flow = runner.run(aig, seed=args.seed)
+            plan = _bench_plan(
+                {s: r.runtime(4) for s, r in flow.stages.items()}
+            )
+            PlanExecutor(
+                profile=FAULT_PROFILES[args.profile](),
+                policy=ExecutionPolicy(),
+            ).execute(
+                plan,
+                deadline_seconds=plan.total_runtime * 4,
+                seed=args.seed,
+            )
+    snapshot = registry.snapshot()
+    print(render_tree(tracer.spans, unit="ms"))
+    rendered = render_metrics(snapshot)
+    if rendered:
+        print(rendered)
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(
+                to_json_doc(tracer.spans, snapshot), handle,
+                sort_keys=True, indent=2,
+            )
+        print(f"trace JSON written to {args.json}")
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            _json.dump(to_chrome_trace(tracer.spans), handle, sort_keys=True)
+        print(f"chrome trace written to {args.chrome}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as _json
+
+    from .obs.bench import (
+        compare_bench,
+        run_bench,
+        validate_bench,
+        write_bench,
+    )
+
+    doc = run_bench(
+        seed=args.seed,
+        design=args.design,
+        scale=args.scale,
+        epochs=args.epochs,
+        rev=args.rev,
+    )
+    problems = validate_bench(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid bench document: {problem}", file=sys.stderr)
+        return 2
+    path = write_bench(doc, args.out)
+    for name, wall in doc["workloads"].items():
+        print(f"  {name:<10} {wall:8.3f}s wall")
+    print(f"bench written to {path}")
+    if args.baseline is None:
+        return 0
+    try:
+        with open(args.baseline) as handle:
+            baseline = _json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    regressions, notes = compare_bench(
+        doc, baseline, tolerance_pct=args.tolerance
+    )
+    for note in notes:
+        print(f"  note: {note}")
+    if regressions:
+        print(
+            f"REGRESSION vs {args.baseline} "
+            f"(tolerance {args.tolerance:.0f}%):"
+        )
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print(
+        f"no regression vs {args.baseline} (tolerance {args.tolerance:.0f}%)"
+    )
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     print(f"{'name':<14} {'kind':<12} note")
     for name in benchmarks.all_names():
@@ -414,6 +591,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "execute": _cmd_execute,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

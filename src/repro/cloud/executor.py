@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..eda.job import EDAStage
+from ..obs import get_metrics, get_tracer
 from .events import EventKind, ExecutionTrace
 from .faults import FaultInjector, FaultProfile
 from .instance import InstanceFamily, VMConfig
@@ -279,41 +280,50 @@ class PlanExecutor:
             stages=len(assignments),
             deadline=deadline_seconds if deadline_seconds is not None else "none",
         )
-        t = 0.0
-        i = 0
-        while i < len(assignments):
-            a = assignments[i]
-            try:
-                t, fell_back = self._run_stage(
-                    a, t, budgets.get(a.stage), injector, trace, result,
-                    stage_options,
-                )
-            except _StageFailure as failure:
-                t = failure.time
-                trace.record(t, EventKind.FLOW_FAIL, stage=failure.stage)
-                result.completed = False
-                result.total_time = t
-                return result
-            if (
-                fell_back
-                and self.policy.replan_on_fallback
-                and stage_options is not None
-                and deadline_seconds is not None
-                and i + 1 < len(assignments)
-            ):
-                assignments = self._replan(
-                    assignments, i, t, deadline_seconds, stage_options, trace,
-                    result,
-                )
-            i += 1
-        result.completed = True
-        result.total_time = t
-        trace.record(
-            t,
-            EventKind.FLOW_COMPLETE,
-            cost=result.total_cost,
-            met_deadline=result.met_deadline,
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "execute", design=plan.design, seed=seed, stages=len(assignments)
+        ) as span:
+            t = 0.0
+            i = 0
+            while i < len(assignments):
+                a = assignments[i]
+                try:
+                    t, fell_back = self._run_stage(
+                        a, t, budgets.get(a.stage), injector, trace, result,
+                        stage_options,
+                    )
+                except _StageFailure as failure:
+                    t = failure.time
+                    trace.record(t, EventKind.FLOW_FAIL, stage=failure.stage)
+                    tracer.event("flow_fail", stage=failure.stage, sim_time=t)
+                    result.completed = False
+                    result.total_time = t
+                    span.set_tags(completed=False, sim_seconds=t)
+                    return result
+                if (
+                    fell_back
+                    and self.policy.replan_on_fallback
+                    and stage_options is not None
+                    and deadline_seconds is not None
+                    and i + 1 < len(assignments)
+                ):
+                    assignments = self._replan(
+                        assignments, i, t, deadline_seconds, stage_options,
+                        trace, result,
+                    )
+                i += 1
+            result.completed = True
+            result.total_time = t
+            trace.record(
+                t,
+                EventKind.FLOW_COMPLETE,
+                cost=result.total_cost,
+                met_deadline=result.met_deadline,
+            )
+            span.set_tags(
+                completed=True, sim_seconds=t, cost=result.total_cost
+            )
         return result
 
     # -- internals --------------------------------------------------------
@@ -363,6 +373,9 @@ class PlanExecutor:
                 rec.attempts = attempt + 1
                 return t
             trace.record(t, failure, stage=stage_key, vm=a.vm.name, attempt=attempt)
+            get_tracer().event(
+                failure.value, stage=stage_key, attempt=attempt, sim_time=t
+            )
             if attempt >= retry.max_retries:
                 trace.record(
                     t,
@@ -371,6 +384,9 @@ class PlanExecutor:
                     vm=a.vm.name,
                     attempt=attempt,
                     reason="retries_exhausted",
+                )
+                get_tracer().event(
+                    EventKind.STAGE_ABORT.value, stage=stage_key, sim_time=t
                 )
                 raise _StageFailure(stage_key, t)
             delay = retry.backoff_seconds(attempt, injector.jitter(stage_key, attempt))
@@ -382,6 +398,10 @@ class PlanExecutor:
                 vm=a.vm.name,
                 attempt=attempt,
                 seconds=delay,
+            )
+            get_tracer().event(
+                EventKind.BACKOFF.value, stage=stage_key, attempt=attempt,
+                seconds=delay, sim_time=t,
             )
             attempt += 1
 
@@ -398,6 +418,9 @@ class PlanExecutor:
         cost = vm.cost(seconds)
         result.total_cost += cost
         rec.cost += cost
+        metrics = get_metrics()
+        metrics.counter("executor.billed_seconds").inc(seconds)
+        metrics.counter("executor.billed_cost").inc(cost)
         if trace.enabled:
             result.segments.append(
                 BilledSegment(stage=stage_key, vm=vm.name, seconds=seconds, cost=cost)
@@ -442,33 +465,51 @@ class PlanExecutor:
         stage_t0 = t
         trace.record(t, EventKind.STAGE_START, stage=stage_key, vm=a.vm.name,
                      nominal=a.runtime_seconds)
-        t = self._provision(a, t, injector, trace, rec)
-        attempt = rec.attempts - 1
+        with get_tracer().span(
+            f"stage.{stage_key}", stage=stage_key, vm=a.vm.name,
+            nominal=a.runtime_seconds,
+        ) as span:
+            t = self._provision(a, t, injector, trace, rec)
+            attempt = rec.attempts - 1
 
-        factor = injector.straggler_factor(stage_key, attempt)
-        effective = a.runtime_seconds * factor
-        if factor > 1.0:
+            factor = injector.straggler_factor(stage_key, attempt)
+            effective = a.runtime_seconds * factor
+            if factor > 1.0:
+                trace.record(
+                    t, EventKind.STRAGGLER, stage=stage_key, vm=a.vm.name,
+                    attempt=attempt, factor=factor,
+                )
+                get_tracer().event(
+                    EventKind.STRAGGLER.value, stage=stage_key, factor=factor,
+                    sim_time=t,
+                )
+
+            spot = (
+                is_spot_vm(a.vm)
+                and self.profile.spot_interrupt_rate_per_hour > 0
+            )
+            fell_back = False
+            if not spot:
+                t += effective
+                self._bill(result, trace, t, stage_key, a.vm, effective, rec)
+            else:
+                t, fell_back = self._run_spot(
+                    a, t, stage_t0, budget, effective, attempt, injector,
+                    trace, result, rec, stage_options,
+                )
+            rec.wall_seconds = t - stage_t0
+            rec.committed = True
             trace.record(
-                t, EventKind.STRAGGLER, stage=stage_key, vm=a.vm.name,
-                attempt=attempt, factor=factor,
+                t, EventKind.STAGE_COMMIT, stage=stage_key, vm=rec.vm.name,
+                wall=rec.wall_seconds, cost=rec.cost,
             )
-
-        spot = is_spot_vm(a.vm) and self.profile.spot_interrupt_rate_per_hour > 0
-        fell_back = False
-        if not spot:
-            t += effective
-            self._bill(result, trace, t, stage_key, a.vm, effective, rec)
-        else:
-            t, fell_back = self._run_spot(
-                a, t, stage_t0, budget, effective, attempt, injector, trace,
-                result, rec, stage_options,
+            span.set_tags(
+                attempts=rec.attempts,
+                preemptions=rec.preemptions,
+                fell_back=rec.fell_back,
+                sim_seconds=rec.wall_seconds,
+                cost=rec.cost,
             )
-        rec.wall_seconds = t - stage_t0
-        rec.committed = True
-        trace.record(
-            t, EventKind.STAGE_COMMIT, stage=stage_key, vm=rec.vm.name,
-            wall=rec.wall_seconds, cost=rec.cost,
-        )
         return t, fell_back
 
     def _run_spot(
@@ -518,11 +559,18 @@ class PlanExecutor:
                 t, EventKind.PREEMPTION, stage=stage_key, vm=a.vm.name,
                 lost=draw, count=rec.preemptions,
             )
+            get_tracer().event(
+                EventKind.PREEMPTION.value, stage=stage_key, lost=draw,
+                count=rec.preemptions, sim_time=t,
+            )
             timed_out = budget is not None and (t - stage_t0) > budget
             if timed_out:
                 trace.record(
                     t, EventKind.TIMEOUT, stage=stage_key, vm=a.vm.name,
                     budget=budget, elapsed=t - stage_t0,
+                )
+                get_tracer().event(
+                    EventKind.TIMEOUT.value, stage=stage_key, sim_time=t
                 )
             if timed_out or (cap is not None and rec.preemptions >= cap):
                 od = self._on_demand_twin(a.vm, a.stage, stage_options)
@@ -530,6 +578,11 @@ class PlanExecutor:
                     t, EventKind.FALLBACK, stage=stage_key, vm=od.name,
                     reason="timeout" if timed_out else "preemptions",
                     preemptions=rec.preemptions,
+                )
+                get_tracer().event(
+                    EventKind.FALLBACK.value, stage=stage_key, vm=od.name,
+                    reason="timeout" if timed_out else "preemptions",
+                    sim_time=t,
                 )
                 t += remaining
                 self._bill(result, trace, t, stage_key, od, remaining, rec)
@@ -570,6 +623,12 @@ class PlanExecutor:
             else None
         )
         result.replanned = True
+        get_tracer().event(
+            EventKind.REPLAN.value,
+            feasible=selection is not None,
+            residual=residual,
+            sim_time=t,
+        )
         if selection is None:
             result.replan_feasible = False
             trace.record(

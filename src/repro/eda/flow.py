@@ -13,6 +13,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from ..netlist.aig import AIG
 from ..netlist.cells import Library, nangate_lite
+from ..obs import get_tracer
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .job import EDAStage, JobResult
 from .placement import PlacementEngine
@@ -94,25 +95,53 @@ class FlowRunner:
         """
         instruments = instruments or {}
         result = FlowResult(design=aig.name)
+        tracer = get_tracer()
 
-        synth = self.synthesis.run(
-            aig, recipe=recipe, seed=seed,
-            instrument=instruments.get(EDAStage.SYNTHESIS),
-        )
-        result.stages[EDAStage.SYNTHESIS] = synth
-
-        place = self.placement.run(
-            synth.artifact, instrument=instruments.get(EDAStage.PLACEMENT)
-        )
-        result.stages[EDAStage.PLACEMENT] = place
-
-        route = self.routing.run(
-            place.artifact, instrument=instruments.get(EDAStage.ROUTING)
-        )
-        result.stages[EDAStage.ROUTING] = route
-
-        sta = self.sta.run(
-            place.artifact, instrument=instruments.get(EDAStage.STA)
-        )
-        result.stages[EDAStage.STA] = sta
+        with tracer.span("flow", design=aig.name):
+            synth = self._traced_stage(
+                tracer, result, EDAStage.SYNTHESIS,
+                lambda: self.synthesis.run(
+                    aig, recipe=recipe, seed=seed,
+                    instrument=instruments.get(EDAStage.SYNTHESIS),
+                ),
+            )
+            place = self._traced_stage(
+                tracer, result, EDAStage.PLACEMENT,
+                lambda: self.placement.run(
+                    synth.artifact,
+                    instrument=instruments.get(EDAStage.PLACEMENT),
+                ),
+            )
+            self._traced_stage(
+                tracer, result, EDAStage.ROUTING,
+                lambda: self.routing.run(
+                    place.artifact,
+                    instrument=instruments.get(EDAStage.ROUTING),
+                ),
+            )
+            self._traced_stage(
+                tracer, result, EDAStage.STA,
+                lambda: self.sta.run(
+                    place.artifact, instrument=instruments.get(EDAStage.STA)
+                ),
+            )
         return result
+
+    @staticmethod
+    def _traced_stage(tracer, result: FlowResult, stage: EDAStage, thunk):
+        """Run one stage in a span tagged with design, modelled runtimes
+        at the paper's vCPU grid, and the stage's perf-counter summary."""
+        with tracer.span(
+            f"stage.{stage.value}", design=result.design, stage=stage.value
+        ) as span:
+            job = thunk()
+            result.stages[stage] = job
+            for vcpus, runtime in job.runtimes().items():
+                span.set_tag(f"runtime_{vcpus}v", runtime)
+            span.set_tags(
+                instructions=job.counters.instructions,
+                branch_miss_rate=job.counters.branch_miss_rate,
+                cache_miss_rate=job.counters.cache_miss_rate,
+                avx_share=job.counters.avx_share,
+            )
+        return job

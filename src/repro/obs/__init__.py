@@ -1,0 +1,100 @@
+"""Observability: hierarchical spans, metrics, exporters, bench harness.
+
+The measurement substrate for the reproduction — the paper's whole
+pipeline is built on *measuring* EDA workloads, and this package applies
+the same discipline to our own hot paths:
+
+* :mod:`repro.obs.spans`   — hierarchical wall-clock spans (thread-local
+  stack, monotonic clock, deterministic mode for byte-stable traces),
+* :mod:`repro.obs.metrics` — process-local counters / gauges / log-scale
+  histograms with snapshot, reset and merge,
+* :mod:`repro.obs.export`  — JSON, Chrome trace-event, and text-tree
+  exporters,
+* :mod:`repro.obs.bench`   — the ``repro bench`` fixed-seed workload
+  matrix and ``BENCH_<rev>.json`` regression comparison.
+
+The global tracer starts **disabled** (instrumented code pays one
+attribute check), the global metric registry is always on (dict-lookup
+cheap).  :func:`scoped` swaps both for the duration of a ``with`` block,
+which is how the CLI commands, the bench harness, and the tests isolate
+their telemetry.
+"""
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .metrics import (
+    MAX_BIN,
+    MIN_BIN,
+    ZERO_BIN,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    bin_bounds,
+    get_metrics,
+    histogram_bin,
+    merge_snapshots,
+    set_metrics,
+)
+from .spans import (
+    NULL_SPAN,
+    Span,
+    SpanEvent,
+    TickClock,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    well_nested_violations,
+)
+
+__all__ = [
+    "MAX_BIN",
+    "MIN_BIN",
+    "ZERO_BIN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_SPAN",
+    "Span",
+    "SpanEvent",
+    "TickClock",
+    "Tracer",
+    "bin_bounds",
+    "get_metrics",
+    "get_tracer",
+    "histogram_bin",
+    "merge_snapshots",
+    "scoped",
+    "set_metrics",
+    "set_tracer",
+    "traced",
+    "well_nested_violations",
+]
+
+
+@contextmanager
+def scoped(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+):
+    """Temporarily install a tracer and/or metric registry as the globals.
+
+    Restores the previous globals on exit even if the body raises; yields
+    ``(tracer, metrics)`` as actually installed.
+    """
+    prev_tracer = set_tracer(tracer) if tracer is not None else None
+    prev_metrics = set_metrics(metrics) if metrics is not None else None
+    try:
+        yield get_tracer(), get_metrics()
+    finally:
+        if tracer is not None:
+            set_tracer(prev_tracer)
+        if metrics is not None:
+            set_metrics(prev_metrics)

@@ -1,0 +1,274 @@
+"""Perf-regression bench harness: a fixed-seed workload matrix.
+
+``repro bench`` runs a small deterministic slice of every hot path —
+the four-stage flow (with modelled runtimes recorded at 1/2/4/8 vCPUs),
+one fault-injected executor run, and a short GCN fit — under an enabled
+tracer and a fresh metric registry, then writes a ``BENCH_<rev>.json``
+document (schema :data:`BENCH_SCHEMA`):
+
+* ``structure`` — the timing-free span tree (byte-stable for one seed),
+* ``metrics``   — the metric snapshot (byte-stable for one seed),
+* ``timings``   — wall-clock seconds per span path (machine-dependent),
+* ``workloads`` — headline wall-clock per workload.
+
+Determinism contract: two runs with the same seed produce identical
+``structure`` and ``metrics``; only ``timings``/``workloads`` vary.
+:func:`compare_bench` diffs the timings against a baseline file with a
+percentage tolerance — that comparison is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Dict, List, Optional, Tuple
+
+from ..cloud.executor import ExecutionPolicy, PlanExecutor
+from ..cloud.faults import FaultProfile
+from ..cloud.instance import InstanceFamily, VMConfig
+from ..cloud.provisioner import DeploymentPlan
+from ..eda.flow import FlowRunner
+from ..eda.job import EDAStage
+from ..gnn.dataset import RuntimeSample
+from ..gnn.model import RuntimeGCN
+from ..gnn.training import TrainConfig, train
+from ..netlist import benchmarks
+from ..netlist.stargraph import aig_to_graph
+from . import scoped
+from .export import structural_tree
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "run_bench",
+    "write_bench",
+    "bench_filename",
+    "git_rev",
+    "validate_bench",
+    "compare_bench",
+]
+
+#: Schema tag stamped into every ``BENCH_*.json``.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: vCPU grid the flow's modelled runtimes are recorded at (paper's grid).
+VCPU_LEVELS = (1, 2, 4, 8)
+
+#: Ignore timing deltas below this many seconds (noise floor).
+ABS_GUARD_SECONDS = 0.02
+
+
+def git_rev(default: str = "dev") -> str:
+    """Short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def _span_paths(spans: List[Span]) -> Dict[str, float]:
+    """Flatten finished spans to ``root/child/...`` path -> duration."""
+    by_id = {s.span_id: s for s in spans}
+    paths: Dict[str, float] = {}
+    for span in spans:
+        if not span.finished:
+            continue
+        parts = [span.name]
+        parent_id = span.parent_id
+        while parent_id is not None:
+            parent = by_id[parent_id]
+            parts.append(parent.name)
+            parent_id = parent.parent_id
+        path = "/".join(reversed(parts))
+        # Repeated paths (e.g. per-epoch spans) accumulate.
+        paths[path] = paths.get(path, 0.0) + span.duration
+    return paths
+
+
+def _bench_plan(runtimes: Dict[EDAStage, float]) -> DeploymentPlan:
+    """A fixed mixed spot/on-demand plan over the measured flow runtimes."""
+    spot = VMConfig(
+        name="gp.4x.spot",
+        family=InstanceFamily.GENERAL_PURPOSE,
+        vcpus=4,
+        memory_gb=16.0,
+        price_per_hour=0.06,
+    )
+    on_demand = VMConfig(
+        name="gp.4x",
+        family=InstanceFamily.GENERAL_PURPOSE,
+        vcpus=4,
+        memory_gb=16.0,
+        price_per_hour=0.20,
+    )
+    plan = DeploymentPlan(design="bench")
+    for stage in EDAStage.ordered():
+        vm = spot if stage in (EDAStage.SYNTHESIS, EDAStage.ROUTING) else on_demand
+        plan.add(stage, vm, max(1.0, runtimes[stage]))
+    return plan
+
+
+def run_bench(
+    seed: int = 0,
+    design: str = "ctrl",
+    scale: float = 0.3,
+    epochs: int = 3,
+    rev: Optional[str] = None,
+) -> dict:
+    """Run the fixed workload matrix; returns the bench document."""
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    with scoped(tracer=tracer, metrics=registry):
+        workloads: Dict[str, float] = {}
+
+        # -- workload 1: the four-stage flow at 1/2/4/8 vCPUs ------------
+        with tracer.span("bench.flow", design=design, seed=seed) as sp:
+            runner = FlowRunner(seed=seed)
+            aig = benchmarks.build(design, scale)
+            flow = runner.run(aig, seed=seed)
+            for stage, result in flow.stages.items():
+                for vcpus in VCPU_LEVELS:
+                    registry.gauge(
+                        f"flow.runtime_seconds.{stage.value}.{vcpus}v"
+                    ).set(result.runtime(vcpus))
+        workloads["flow"] = sp.duration
+
+        # -- workload 2: one fault-injected executor run ------------------
+        runtimes = {s: r.runtime(4) for s, r in flow.stages.items()}
+        plan = _bench_plan(runtimes)
+        with tracer.span("bench.executor", seed=seed) as sp:
+            profile = FaultProfile.calm()
+            executor = PlanExecutor(profile=profile, policy=ExecutionPolicy())
+            outcome = executor.execute(
+                plan, deadline_seconds=plan.total_runtime * 4, seed=seed
+            )
+            registry.gauge("bench.executor.total_cost").set(outcome.total_cost)
+            registry.gauge("bench.executor.sim_seconds").set(outcome.total_time)
+        workloads["executor"] = sp.duration
+
+        # -- workload 3: a short GCN fit ----------------------------------
+        with tracer.span("bench.gnn", seed=seed, epochs=epochs) as sp:
+            synth = flow.stages[EDAStage.SYNTHESIS]
+            sample = RuntimeSample(
+                graph=aig_to_graph(aig),
+                runtimes=[synth.runtime(v) for v in VCPU_LEVELS],
+                design=design,
+            )
+            model = RuntimeGCN(
+                feature_dim=sample.graph.feature_dim,
+                hidden1=16,
+                hidden2=8,
+                fc_units=8,
+                seed=seed,
+            )
+            fit = train(
+                model,
+                [sample],
+                TrainConfig(epochs=epochs, shuffle_seed=seed),
+            )
+            registry.gauge("bench.gnn.final_loss").set(fit.final_loss)
+        workloads["gnn"] = sp.duration
+
+    snapshot = registry.snapshot()
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": rev if rev is not None else git_rev(),
+        "seed": seed,
+        "design": design,
+        "scale": scale,
+        "epochs": epochs,
+        "workloads": workloads,
+        "timings": _span_paths(tracer.spans),
+        "structure": structural_tree(tracer.spans),
+        "metrics": snapshot.to_dict(),
+    }
+
+
+def bench_filename(rev: str) -> str:
+    return f"BENCH_{rev}.json"
+
+
+def write_bench(doc: dict, directory: str = ".") -> str:
+    """Write ``BENCH_<rev>.json`` into ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bench_filename(doc["rev"]))
+    with open(path, "w") as handle:
+        json.dump(doc, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
+def validate_bench(doc: dict) -> List[str]:
+    """Schema check for a bench document; [] when valid."""
+    out: List[str] = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        out.append(
+            f"schema: expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    for key, kind in (
+        ("rev", str),
+        ("seed", int),
+        ("workloads", dict),
+        ("timings", dict),
+        ("structure", list),
+        ("metrics", dict),
+    ):
+        if not isinstance(doc.get(key), kind):
+            out.append(f"{key}: missing or not a {kind.__name__}")
+    if isinstance(doc.get("workloads"), dict):
+        for name in ("flow", "executor", "gnn"):
+            value = doc["workloads"].get(name)
+            if not isinstance(value, (int, float)) or value < 0:
+                out.append(f"workloads.{name}: missing or negative")
+    if isinstance(doc.get("metrics"), dict):
+        for section in ("counters", "gauges", "histograms"):
+            if section not in doc["metrics"]:
+                out.append(f"metrics.{section}: missing")
+    return out
+
+
+def compare_bench(
+    current: dict, baseline: dict, tolerance_pct: float = 25.0
+) -> Tuple[List[str], List[str]]:
+    """Diff two bench documents; returns ``(regressions, notes)``.
+
+    A timing path regresses when it is more than ``tolerance_pct`` slower
+    than the baseline *and* the absolute delta exceeds
+    :data:`ABS_GUARD_SECONDS` (sub-centisecond spans are all noise).
+    Structure drift (span paths appearing/disappearing) is reported as a
+    note, not a regression — it usually means the workload changed shape
+    and the baseline needs regenerating.
+    """
+    if tolerance_pct < 0:
+        raise ValueError("tolerance_pct must be non-negative")
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_timings = baseline.get("timings", {})
+    cur_timings = current.get("timings", {})
+    for path in sorted(set(base_timings) | set(cur_timings)):
+        if path not in cur_timings:
+            notes.append(f"span path disappeared: {path}")
+            continue
+        if path not in base_timings:
+            notes.append(f"new span path (no baseline): {path}")
+            continue
+        base = float(base_timings[path])
+        cur = float(cur_timings[path])
+        if cur > base * (1.0 + tolerance_pct / 100.0) and (
+            cur - base > ABS_GUARD_SECONDS
+        ):
+            regressions.append(
+                f"{path}: {cur:.4f}s vs baseline {base:.4f}s "
+                f"(+{100.0 * (cur - base) / base:.1f}% > {tolerance_pct:.0f}%)"
+            )
+    return regressions, notes

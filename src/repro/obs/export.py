@@ -1,0 +1,185 @@
+"""Trace and metrics exporters: JSON, Chrome trace-event, text tree.
+
+Three views of the same span list:
+
+* :func:`span_tree` / :func:`to_json_doc` — a nested JSON document (the
+  ``repro-trace/1`` schema) with full timing, tags and instant events,
+* :func:`structural_tree` — the *shape only* (names, nesting, sorted tag
+  keys, event names), which is what the golden-trace tests and the bench
+  determinism check compare — timings never leak in,
+* :func:`to_chrome_trace` — the Chrome ``chrome://tracing`` /  Perfetto
+  trace-event format (``ph: "X"`` complete events in microseconds, with
+  ``ph: "i"`` instants), loadable straight into the browser,
+* :func:`render_tree` — a compact indented text tree for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import MetricsSnapshot
+from .spans import Span
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "span_tree",
+    "structural_tree",
+    "to_json_doc",
+    "to_chrome_trace",
+    "render_tree",
+    "render_metrics",
+]
+
+#: Schema tag stamped into every exported JSON trace document.
+TRACE_SCHEMA = "repro-trace/1"
+
+
+def _children_index(spans: Sequence[Span]) -> Dict[Optional[int], List[Span]]:
+    index: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        index.setdefault(span.parent_id, []).append(span)
+    for children in index.values():
+        children.sort(key=lambda s: s.span_id)
+    return index
+
+
+def span_tree(spans: Sequence[Span]) -> List[dict]:
+    """Nest the flat span list into a list of root dicts (full detail)."""
+    index = _children_index(spans)
+
+    def node(span: Span) -> dict:
+        return {
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "thread": span.thread,
+            "tags": dict(span.tags),
+            "events": [
+                {"name": e.name, "time": e.time, "tags": dict(e.tags)}
+                for e in span.events
+            ],
+            "children": [node(c) for c in index.get(span.span_id, [])],
+        }
+
+    return [node(root) for root in index.get(None, [])]
+
+
+def structural_tree(spans: Sequence[Span]) -> List[dict]:
+    """Timing-free shape: names, nesting, sorted tag keys, event names."""
+    index = _children_index(spans)
+
+    def node(span: Span) -> dict:
+        return {
+            "name": span.name,
+            "tags": sorted(span.tags),
+            "events": [e.name for e in span.events],
+            "children": [node(c) for c in index.get(span.span_id, [])],
+        }
+
+    return [node(root) for root in index.get(None, [])]
+
+
+def to_json_doc(
+    spans: Sequence[Span],
+    metrics: Optional[MetricsSnapshot] = None,
+) -> dict:
+    """The full ``repro-trace/1`` document (spans + metric snapshot)."""
+    doc = {"schema": TRACE_SCHEMA, "spans": span_tree(spans)}
+    if metrics is not None:
+        doc["metrics"] = metrics.to_dict()
+    return doc
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> dict:
+    """Chrome trace-event JSON (open in ``chrome://tracing`` / Perfetto)."""
+    tids: Dict[str, int] = {}
+    events: List[dict] = []
+    for span in spans:
+        tid = tids.setdefault(span.thread, len(tids) + 1)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": dict(span.tags),
+            }
+        )
+        for instant in span.events:
+            events.append(
+                {
+                    "name": instant.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": instant.time * 1e6,
+                    "args": dict(instant.tags),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _format_tag(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_tree(
+    spans: Sequence[Span], show_events: bool = True, unit: str = "s"
+) -> str:
+    """Compact indented text tree (durations + tags on one line each)."""
+    index = _children_index(spans)
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        tags = " ".join(
+            f"{k}={_format_tag(v)}" for k, v in sorted(span.tags.items())
+        )
+        lines.append(
+            f"{indent}{span.name:<{max(1, 28 - 2 * depth)}} "
+            f"{span.duration * scale:>10.3f}{unit}"
+            + (f"  {tags}" if tags else "")
+        )
+        if show_events:
+            for event in span.events:
+                etags = " ".join(
+                    f"{k}={_format_tag(v)}"
+                    for k, v in sorted(event.tags.items())
+                )
+                lines.append(
+                    f"{indent}  * {event.name}" + (f" {etags}" if etags else "")
+                )
+        for child in index.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in index.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    """Deterministic text rendering of a metric snapshot."""
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        lines.append(f"counter   {name:<36} {snapshot.counters[name]:,.4f}")
+    for name in sorted(snapshot.gauges):
+        lines.append(f"gauge     {name:<36} {snapshot.gauges[name]:,.4f}")
+    for name in sorted(snapshot.histograms):
+        h = snapshot.histograms[name]
+        lines.append(
+            f"histogram {name:<36} n={h.count} sum={h.total:,.4f} "
+            f"min={h.min} max={h.max}"
+        )
+    return "\n".join(lines)
+
+
+def dumps(doc: dict) -> str:
+    """Deterministic JSON bytes (sorted keys, stable separators)."""
+    return json.dumps(doc, sort_keys=True, indent=2)

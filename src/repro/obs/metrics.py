@@ -1,0 +1,273 @@
+"""Process-local metrics: counters, gauges, log-scale histograms.
+
+No numpy, no background threads — a :class:`MetricsRegistry` is a dict of
+named instruments, and a :class:`MetricsSnapshot` is an immutable copy
+that supports ``==``, JSON export, and :func:`merge_snapshots`.  The
+algebra the property tests assert:
+
+* histogram bin counts always sum to the observation count,
+* ``merge_snapshots(snap(a), snap(b)) == snap(a then b)`` for counters
+  and histograms (sums) and gauges (last write wins).
+
+Histogram bins are *fixed* powers of two: observation ``v > 0`` lands in
+bin ``floor(log2(v))`` (i.e. ``[2**i, 2**(i+1))``), clamped to
+``[MIN_BIN, MAX_BIN]``; non-positive observations land in
+:data:`ZERO_BIN`.  Fixed bins make snapshots from different processes
+mergeable without rebinning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "histogram_bin",
+    "bin_bounds",
+    "get_metrics",
+    "set_metrics",
+    "ZERO_BIN",
+    "MIN_BIN",
+    "MAX_BIN",
+]
+
+#: Bin index reserved for observations <= 0.
+ZERO_BIN = -1025
+#: Smallest/largest power-of-two exponent before clamping.
+MIN_BIN = -64
+MAX_BIN = 64
+
+
+def histogram_bin(value: float) -> int:
+    """Fixed log2 bin index for ``value`` (see module docstring)."""
+    if value <= 0.0 or math.isnan(value):
+        return ZERO_BIN
+    if math.isinf(value):
+        return MAX_BIN
+    return min(max(int(math.floor(math.log2(value))), MIN_BIN), MAX_BIN)
+
+
+def bin_bounds(index: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` value range of one bin index."""
+    if index == ZERO_BIN:
+        return (float("-inf"), 0.0)
+    lo = 2.0 ** index if index > MIN_BIN else 0.0
+    hi = 2.0 ** (index + 1) if index < MAX_BIN else float("inf")
+    return (lo, hi)
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value", "written")
+
+    def __init__(self):
+        self.value = 0.0
+        self.written = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.written = True
+
+
+class Histogram:
+    """Log2-binned distribution with count/sum/min/max."""
+
+    __slots__ = ("bins", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = histogram_bin(value)
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state; ``bins`` is sorted for stable equality."""
+
+    count: int
+    total: float
+    min: Optional[float]
+    max: Optional[float]
+    bins: Tuple[Tuple[int, int], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bins": {str(index): count for index, count in self.bins},
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry (hashable-free but ``==``-able)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Sorted-key dict for JSON export (deterministic bytes)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create by kind."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_free(name, "counter")
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_free(name, "gauge")
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._check_free(name, "histogram")
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={
+                k: g.value for k, g in self._gauges.items() if g.written
+            },
+            histograms={
+                k: HistogramSnapshot(
+                    count=h.count,
+                    total=h.total,
+                    min=h.min,
+                    max=h.max,
+                    bins=tuple(sorted(h.bins.items())),
+                )
+                for k, h in self._histograms.items()
+            },
+        )
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot:
+    """Combine two snapshots as if their registries had been one.
+
+    Counters and histograms add; gauges take ``b``'s value when it wrote
+    one (last write wins, matching sequential registry semantics).
+    """
+    counters = dict(a.counters)
+    for name, value in b.counters.items():
+        counters[name] = counters.get(name, 0.0) + value
+    gauges = dict(a.gauges)
+    gauges.update(b.gauges)
+    histograms = dict(a.histograms)
+    for name, hb in b.histograms.items():
+        ha = histograms.get(name)
+        if ha is None:
+            histograms[name] = hb
+            continue
+        bins: Dict[int, int] = dict(ha.bins)
+        for index, count in hb.bins:
+            bins[index] = bins.get(index, 0) + count
+        histograms[name] = HistogramSnapshot(
+            count=ha.count + hb.count,
+            total=ha.total + hb.total,
+            min=(
+                hb.min
+                if ha.min is None
+                else ha.min if hb.min is None else min(ha.min, hb.min)
+            ),
+            max=(
+                hb.max
+                if ha.max is None
+                else ha.max if hb.max is None else max(ha.max, hb.max)
+            ),
+            bins=tuple(sorted(bins.items())),
+        )
+    return MetricsSnapshot(
+        counters=counters, gauges=gauges, histograms=histograms
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-global registry (always on; instruments are dict-lookup cheap)
+# ----------------------------------------------------------------------
+_global_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry the instrumented modules report to."""
+    return _global_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global one; returns the previous one."""
+    global _global_metrics
+    previous = _global_metrics
+    _global_metrics = registry
+    return previous

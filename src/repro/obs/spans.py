@@ -1,0 +1,350 @@
+"""Hierarchical wall-clock spans with a thread-local span stack.
+
+A :class:`Span` is one timed region of work; spans opened while another
+span is active on the same thread become its children, so a run of the
+flow/executor/trainer produces a tree.  Three properties make the spans
+usable as *test fixtures* and not just as profiling output:
+
+* **Monotonic timing** — the default clock is ``time.perf_counter``,
+  never the wall clock, so durations are immune to NTP steps.
+* **Deterministic mode** — ``Tracer(deterministic=True)`` swaps the
+  clock for a counting tick clock (1.0 per call) and span IDs are always
+  allocation-counter based, so the same seeded workload produces a
+  byte-identical trace; the golden-trace tests rely on this.
+* **Zero-cost when disabled** — a disabled tracer hands out a shared
+  no-op context manager, so instrumented hot paths (the executor's
+  Monte-Carlo loops, the tier-1 suite) pay one attribute check per span.
+
+The module-level :func:`get_tracer`/:func:`set_tracer` pair holds the
+process-global tracer, which starts *disabled*; ``repro trace`` /
+``repro bench`` and the tests install enabled tracers scoped to a run.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "TickClock",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+    "well_nested_violations",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A zero-duration instant attached to a span (fault, retry, ...)."""
+
+    name: str
+    time: float
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed region; children are linked by ``parent_id``."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    thread: str
+    tags: Dict[str, object] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    end: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0 while the span is open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_tag(self, key: str, value) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def set_tags(self, **tags) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def add_event(self, name: str, time: float, **tags) -> SpanEvent:
+        event = SpanEvent(name=name, time=time, tags=tags)
+        self.events.append(event)
+        return event
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+    span_id = -1
+    parent_id = None
+    name = ""
+    tags: Dict[str, object] = {}
+    events: List[SpanEvent] = []
+    finished = True
+    duration = 0.0
+
+    def set_tag(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def set_tags(self, **tags) -> "_NullSpan":
+        return self
+
+    def add_event(self, name: str, time: float = 0.0, **tags) -> None:
+        return None
+
+
+#: The span a disabled tracer yields — all mutators are no-ops.
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    """Reusable no-op context manager (one allocation per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class TickClock:
+    """Counting clock for deterministic traces: 0.0, 1.0, 2.0, ..."""
+
+    def __init__(self, step: float = 1.0):
+        self.step = step
+        self._ticks = 0
+
+    def __call__(self) -> float:
+        value = self._ticks * self.step
+        self._ticks += 1
+        return value
+
+
+class Tracer:
+    """Collects spans; one thread-local stack defines parenthood.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning seconds.  Defaults to
+        ``time.perf_counter`` (monotonic); ignored when
+        ``deterministic=True``.
+    deterministic:
+        Use a :class:`TickClock` so timestamps (and therefore the whole
+        trace) are reproducible byte-for-byte.
+    enabled:
+        Disabled tracers record nothing and yield :data:`NULL_SPAN`.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        deterministic: bool = False,
+        enabled: bool = True,
+    ):
+        if deterministic:
+            clock = TickClock()
+        self.clock = clock if clock is not None else time.perf_counter
+        self.deterministic = deterministic
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.orphan_events: List[SpanEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span stack -------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording --------------------------------------------------------
+    def span(self, name: str, **tags):
+        """Context manager opening a child of the current span."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._record_span(name, tags)
+
+    @contextmanager
+    def _record_span(self, name: str, tags: Dict[str, object]):
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span = Span(
+                span_id=len(self.spans),
+                parent_id=parent.span_id if parent is not None else None,
+                name=name,
+                start=self.clock(),
+                thread=threading.current_thread().name,
+                tags=dict(tags),
+            )
+            self.spans.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            with self._lock:
+                span.end = self.clock()
+
+    def event(self, name: str, **tags) -> None:
+        """Record an instant on the current span (orphaned if none open)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            now = self.clock()
+        current = self.current()
+        if current is not None:
+            current.add_event(name, now, **tags)
+        else:
+            self.orphan_events.append(SpanEvent(name=name, time=now, tags=tags))
+
+    # -- inspection -------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans on other threads included)."""
+        with self._lock:
+            self.spans = []
+            self.orphan_events = []
+        self._local = threading.local()
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer (starts disabled: instrumentation is free until
+# a CLI command or test turns it on).
+# ----------------------------------------------------------------------
+_global_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer the instrumented modules report to."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global tracer; returns the previous one."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer
+    return previous
+
+
+def traced(name: Optional[str] = None, **tags):
+    """Decorator: run the function inside a span on the global tracer."""
+
+    def decorate(func):
+        span_name = name if name is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with get_tracer().span(span_name, **tags):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Invariant checking (shared by the property tests and the obs oracle)
+# ----------------------------------------------------------------------
+def well_nested_violations(spans: List[Span]) -> List[str]:
+    """Check the span-tree timing invariants; [] when they all hold.
+
+    * every finished child's interval lies inside its parent's,
+    * siblings on the same thread do not overlap (the per-thread stack
+      makes concurrent siblings impossible),
+    * parents start no later than their children (IDs allocate in start
+      order, so a child's ID exceeds its parent's).
+    """
+    out: List[str] = []
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        if not span.finished:
+            out.append(f"span {span.span_id} ({span.name}): never finished")
+            continue
+        if span.end < span.start:
+            out.append(
+                f"span {span.span_id} ({span.name}): negative duration "
+                f"[{span.start}, {span.end}]"
+            )
+        for event in span.events:
+            if event.time < span.start or event.time > span.end:
+                out.append(
+                    f"span {span.span_id} ({span.name}): event "
+                    f"{event.name!r} at {event.time} outside the span"
+                )
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            out.append(
+                f"span {span.span_id} ({span.name}): dangling parent id "
+                f"{span.parent_id}"
+            )
+            continue
+        if span.span_id <= parent.span_id:
+            out.append(
+                f"span {span.span_id} ({span.name}): id not after parent "
+                f"{parent.span_id}"
+            )
+        if span.start < parent.start or (
+            parent.finished and span.end > parent.end
+        ):
+            out.append(
+                f"span {span.span_id} ({span.name}): interval "
+                f"[{span.start}, {span.end}] escapes parent "
+                f"{parent.span_id} [{parent.start}, {parent.end}]"
+            )
+    # Sibling overlap, per (parent, thread).
+    groups: Dict[tuple, List[Span]] = {}
+    for span in spans:
+        if span.finished:
+            groups.setdefault((span.parent_id, span.thread), []).append(span)
+    for (parent_id, thread), siblings in groups.items():
+        siblings.sort(key=lambda s: (s.start, s.span_id))
+        for a, b in zip(siblings, siblings[1:]):
+            if b.start < a.end:
+                out.append(
+                    f"siblings {a.span_id} ({a.name}) and {b.span_id} "
+                    f"({b.name}) overlap on thread {thread}"
+                )
+    return out

@@ -27,6 +27,7 @@ from .oracles import (
     exhaustive_output_tables,
     mckp_violations,
     node_value_words,
+    obs_violations,
     recipe_equivalence_violations,
     schedule_violations,
     spot_violations,
@@ -47,6 +48,7 @@ __all__ = [
     "exhaustive_output_tables",
     "mckp_violations",
     "node_value_words",
+    "obs_violations",
     "recipe_equivalence_violations",
     "schedule_violations",
     "spot_violations",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..eda.synthesis import balance
+from ..obs import get_metrics, get_tracer
 from . import generators, oracles
 
 __all__ = [
@@ -82,6 +83,15 @@ def _chaos_trial(rng: random.Random) -> List[str]:
     )
 
 
+def _obs_trial(rng: random.Random) -> List[str]:
+    plan, deadline, profile, policy, seed, menus = (
+        generators.random_execution_case(rng)
+    )
+    return oracles.obs_violations(
+        plan, deadline, profile, policy, seed, stage_options=menus
+    )
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -91,6 +101,7 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "spot": _spot_trial,
     "executor": _executor_trial,
     "chaos": _chaos_trial,
+    "obs": _obs_trial,
 }
 
 
@@ -206,22 +217,34 @@ def run_fuzz(
                 f"unknown oracle {name!r}; known: {', '.join(ORACLES)}"
             )
     report = FuzzReport(base_seed=seed, trials_per_oracle=trials)
-    for name in names:
-        oracle_report = OracleReport(name=name, trials=trials)
-        for trial in range(trials):
-            tseed = trial_seed(seed, name, trial)
-            messages = run_trial(name, tseed)
-            if messages:
-                oracle_report.failures.append(
-                    FuzzFailure(
-                        oracle=name,
-                        trial=trial,
-                        seed=tseed,
-                        messages=tuple(messages),
-                    )
-                )
-        report.oracles.append(oracle_report)
-        if progress is not None:
-            status = "ok" if oracle_report.ok else "FAIL"
-            progress(f"oracle {name}: {trials} trials {status}")
+    tracer = get_tracer()
+    trial_counter = get_metrics().counter("verify.trials")
+    failure_counter = get_metrics().counter("verify.oracle_failures")
+    with tracer.span("verify.fuzz", seed=seed, trials=trials):
+        for name in names:
+            oracle_report = OracleReport(name=name, trials=trials)
+            with tracer.span("verify.oracle", oracle=name):
+                for trial in range(trials):
+                    tseed = trial_seed(seed, name, trial)
+                    with tracer.span(
+                        "verify.trial", oracle=name, trial=trial
+                    ) as span:
+                        messages = run_trial(name, tseed)
+                        trial_counter.inc()
+                        if messages:
+                            failure_counter.inc()
+                            span.set_tag("violations", len(messages))
+                    if messages:
+                        oracle_report.failures.append(
+                            FuzzFailure(
+                                oracle=name,
+                                trial=trial,
+                                seed=tseed,
+                                messages=tuple(messages),
+                            )
+                        )
+            report.oracles.append(oracle_report)
+            if progress is not None:
+                status = "ok" if oracle_report.ok else "FAIL"
+                progress(f"oracle {name}: {trials} trials {status}")
     return report

@@ -66,6 +66,7 @@ __all__ = [
     "convergence_violations",
     "exhaustive_output_tables",
     "node_value_words",
+    "obs_violations",
 ]
 
 #: Relative tolerance for floating-point objective comparisons.
@@ -634,4 +635,81 @@ def spot_violations(
             out.append(
                 f"checkpointing increased E[T]: {expected!r} > {bare!r}"
             )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Observability: obs telemetry vs the executor's own trace
+# ----------------------------------------------------------------------
+def obs_violations(
+    plan: DeploymentPlan,
+    deadline_seconds: float,
+    profile: FaultProfile,
+    policy: ExecutionPolicy,
+    seed: int,
+    stage_options: Optional[Sequence] = None,
+) -> List[str]:
+    """Cross-check ``repro.obs`` telemetry against the execution trace.
+
+    Runs one seeded execution under a fresh deterministic tracer and a
+    fresh metric registry and asserts the two independent recording
+    paths agree *exactly*:
+
+    * the ``executor.billed_seconds`` / ``executor.billed_cost`` counters
+      equal the trace's billed-event totals (same floats, same order, so
+      ``==`` — not approximate),
+    * the number of ``preemption`` span instants equals the trace's
+      preemption count (same for fallbacks),
+    * the recorded spans form a well-nested tree with one span per
+      committed stage.
+    """
+    from ..obs import MetricsRegistry, Tracer, scoped
+    from ..obs.spans import well_nested_violations
+
+    out: List[str] = []
+    tracer = Tracer(deterministic=True)
+    registry = MetricsRegistry()
+    with scoped(tracer=tracer, metrics=registry):
+        result = PlanExecutor(profile, policy).execute(
+            plan, deadline_seconds, seed=seed, stage_options=stage_options
+        )
+    trace = result.trace
+    snap = registry.snapshot()
+
+    billed_seconds = snap.counters.get("executor.billed_seconds", 0.0)
+    if billed_seconds != trace.billed_seconds:
+        out.append(
+            f"obs: billed-seconds counter {billed_seconds!r} != trace "
+            f"billed total {trace.billed_seconds!r}"
+        )
+    billed_cost = snap.counters.get("executor.billed_cost", 0.0)
+    if billed_cost != trace.billed_cost:
+        out.append(
+            f"obs: billed-cost counter {billed_cost!r} != trace billed "
+            f"cost {trace.billed_cost!r}"
+        )
+
+    instants = [e for s in tracer.spans for e in s.events]
+    for name, expected in (
+        (EventKind.PREEMPTION.value, trace.preemptions()),
+        (EventKind.FALLBACK.value, trace.count(EventKind.FALLBACK)),
+        (EventKind.BACKOFF.value, trace.count(EventKind.BACKOFF)),
+    ):
+        got = sum(1 for e in instants if e.name == name)
+        if got != expected:
+            out.append(
+                f"obs: {got} {name!r} span instants != {expected} trace events"
+            )
+
+    out.extend(f"obs: {v}" for v in well_nested_violations(tracer.spans))
+
+    stage_spans = [s for s in tracer.spans if s.name.startswith("stage.")]
+    committed = sum(1 for r in result.stage_records if r.committed)
+    if len(stage_spans) != committed + (0 if result.completed else 1):
+        # An aborted stage still opens a span before failing.
+        aborted = 0 if result.completed else 1
+        out.append(
+            f"obs: {len(stage_spans)} stage spans != {committed} committed "
+            f"stages + {aborted} aborted"
+        )
     return out

@@ -1,0 +1,82 @@
+"""Tests for the environment-variable parsing helpers."""
+
+import pytest
+
+from repro.core.env import env_float, env_int
+
+
+class TestEnvFloat:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_SCALE", raising=False)
+        assert env_float("REPRO_TEST_SCALE", 0.5) == 0.5
+
+    def test_empty_string_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "")
+        assert env_float("REPRO_TEST_SCALE", 0.5) == 0.5
+        monkeypatch.setenv("REPRO_TEST_SCALE", "   ")
+        assert env_float("REPRO_TEST_SCALE", 0.5) == 0.5
+
+    def test_parses_valid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "0.25")
+        assert env_float("REPRO_TEST_SCALE", 1.0) == 0.25
+        monkeypatch.setenv("REPRO_TEST_SCALE", "1e-3")
+        assert env_float("REPRO_TEST_SCALE", 1.0) == 1e-3
+        monkeypatch.setenv("REPRO_TEST_SCALE", "-2")
+        assert env_float("REPRO_TEST_SCALE", 1.0) == -2.0
+
+    def test_malformed_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "fast")
+        with pytest.raises(ValueError) as excinfo:
+            env_float("REPRO_TEST_SCALE", 0.5)
+        message = str(excinfo.value)
+        assert "REPRO_TEST_SCALE" in message
+        assert "'fast'" in message
+        assert "float" in message
+
+    def test_error_suggests_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "oops")
+        with pytest.raises(ValueError, match="0.5"):
+            env_float("REPRO_TEST_SCALE", 0.5)
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_EPOCHS", raising=False)
+        assert env_int("REPRO_TEST_EPOCHS", 3) == 3
+
+    def test_empty_string_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_EPOCHS", "")
+        assert env_int("REPRO_TEST_EPOCHS", 3) == 3
+
+    def test_parses_valid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_EPOCHS", "12")
+        assert env_int("REPRO_TEST_EPOCHS", 3) == 12
+        monkeypatch.setenv("REPRO_TEST_EPOCHS", "-1")
+        assert env_int("REPRO_TEST_EPOCHS", 3) == -1
+
+    def test_float_string_is_rejected(self, monkeypatch):
+        # int("2.5") fails in Python; the error must still name the var.
+        monkeypatch.setenv("REPRO_TEST_EPOCHS", "2.5")
+        with pytest.raises(ValueError, match="REPRO_TEST_EPOCHS"):
+            env_int("REPRO_TEST_EPOCHS", 3)
+
+    def test_malformed_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_EPOCHS", "many")
+        with pytest.raises(ValueError) as excinfo:
+            env_int("REPRO_TEST_EPOCHS", 3)
+        message = str(excinfo.value)
+        assert "REPRO_TEST_EPOCHS" in message
+        assert "'many'" in message
+        assert "integer" in message
+
+
+class TestBenchmarksConftestUsesHelpers:
+    def test_conftest_has_no_bare_casts(self):
+        """benchmarks/conftest.py must route env parsing through env.py."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        text = (root / "benchmarks" / "conftest.py").read_text()
+        assert "env_float" in text and "env_int" in text
+        assert "float(os.environ" not in text
+        assert "int(os.environ" not in text

@@ -1,0 +1,190 @@
+"""Bench harness tests: determinism, schema, regression comparison, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_filename,
+    compare_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    return run_bench(seed=0, scale=0.2, epochs=2, rev="test")
+
+
+class TestRunBench:
+    def test_schema_valid(self, bench_doc):
+        assert validate_bench(bench_doc) == []
+        assert bench_doc["schema"] == BENCH_SCHEMA
+        assert bench_doc["rev"] == "test"
+
+    def test_same_seed_same_structure_and_metrics(self, bench_doc):
+        again = run_bench(seed=0, scale=0.2, epochs=2, rev="test")
+        assert again["structure"] == bench_doc["structure"]
+        assert again["metrics"] == bench_doc["metrics"]
+
+    def test_covers_all_three_workloads(self, bench_doc):
+        roots = [node["name"] for node in bench_doc["structure"]]
+        assert roots == ["bench.flow", "bench.executor", "bench.gnn"]
+        assert set(bench_doc["workloads"]) == {"flow", "executor", "gnn"}
+
+    def test_flow_runtimes_recorded_at_vcpu_grid(self, bench_doc):
+        gauges = bench_doc["metrics"]["gauges"]
+        for stage in ("synthesis", "placement", "routing", "sta"):
+            for vcpus in (1, 2, 4, 8):
+                key = f"flow.runtime_seconds.{stage}.{vcpus}v"
+                assert key in gauges and gauges[key] > 0
+
+    def test_executor_billing_metrics_present(self, bench_doc):
+        counters = bench_doc["metrics"]["counters"]
+        assert counters["executor.billed_seconds"] > 0
+        assert counters["executor.billed_cost"] > 0
+
+    def test_timings_cover_every_span_path(self, bench_doc):
+        assert all(t >= 0 for t in bench_doc["timings"].values())
+        assert "bench.gnn/gnn.train/gnn.epoch" in bench_doc["timings"]
+
+    def test_validate_catches_corruption(self, bench_doc):
+        bad = dict(bench_doc)
+        bad["schema"] = "nope/9"
+        del bad["timings"]
+        problems = validate_bench(bad)
+        assert any("schema" in p for p in problems)
+        assert any("timings" in p for p in problems)
+
+
+class TestWriteBench:
+    def test_filename_embeds_rev(self):
+        assert bench_filename("abc1234") == "BENCH_abc1234.json"
+
+    def test_roundtrip(self, bench_doc, tmp_path):
+        path = write_bench(bench_doc, str(tmp_path))
+        assert path.endswith("BENCH_test.json")
+        loaded = json.loads(open(path).read())
+        assert validate_bench(loaded) == []
+        assert loaded["structure"] == bench_doc["structure"]
+
+
+class TestCompareBench:
+    def test_identical_docs_no_regression(self, bench_doc):
+        regressions, notes = compare_bench(bench_doc, bench_doc, 25.0)
+        assert regressions == [] and notes == []
+
+    def test_detects_slowdown(self, bench_doc):
+        slower = dict(bench_doc)
+        slower["timings"] = {
+            k: v * 3.0 + 1.0 for k, v in bench_doc["timings"].items()
+        }
+        regressions, _notes = compare_bench(slower, bench_doc, 25.0)
+        assert regressions
+        assert all("vs baseline" in r for r in regressions)
+
+    def test_tolerance_absorbs_noise(self, bench_doc):
+        slightly = dict(bench_doc)
+        slightly["timings"] = {
+            k: v * 1.05 for k, v in bench_doc["timings"].items()
+        }
+        regressions, _notes = compare_bench(slightly, bench_doc, 25.0)
+        assert regressions == []
+
+    def test_structure_drift_is_a_note_not_a_regression(self, bench_doc):
+        drifted = dict(bench_doc)
+        drifted["timings"] = dict(bench_doc["timings"])
+        drifted["timings"]["bench.new/path"] = 1.0
+        regressions, notes = compare_bench(drifted, bench_doc, 25.0)
+        assert regressions == []
+        assert any("new span path" in n for n in notes)
+
+    def test_negative_tolerance_rejected(self, bench_doc):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_bench(bench_doc, bench_doc, -1.0)
+
+
+class TestBenchCli:
+    def test_bench_writes_and_passes_self_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        args = [
+            "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
+            "--rev", "cli", "--out", str(out),
+        ]
+        assert main(args) == 0
+        path = out / "BENCH_cli.json"
+        assert path.exists()
+        assert validate_bench(json.loads(path.read_text())) == []
+        # Second run against the first as baseline: same machine,
+        # generous tolerance -> no regression.
+        assert main(args + ["--baseline", str(path), "--tolerance", "400"]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_bench_fails_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        args = [
+            "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
+            "--rev", "cli", "--out", str(out),
+        ]
+        assert main(args) == 0
+        path = out / "BENCH_cli.json"
+        doc = json.loads(path.read_text())
+        doc["timings"] = {k: v / 100.0 for k, v in doc["timings"].items()}
+        fast = tmp_path / "impossible_baseline.json"
+        fast.write_text(json.dumps(doc))
+        code = main(args + ["--baseline", str(fast), "--tolerance", "1"])
+        out_text = capsys.readouterr().out
+        # Only paths above the absolute noise guard can regress; at this
+        # tiny scale a clean exit is possible, but a reported regression
+        # must come with the REGRESSION banner and exit 1.
+        assert code in (0, 1)
+        if code == 1:
+            assert "REGRESSION" in out_text
+
+    def test_bench_missing_baseline_errors(self, tmp_path):
+        code = main(
+            [
+                "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
+                "--rev", "cli", "--out", str(tmp_path),
+                "--baseline", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+
+
+class TestTraceCli:
+    def test_trace_flow_prints_tree_and_exports(self, tmp_path, capsys):
+        json_out = tmp_path / "trace.json"
+        chrome_out = tmp_path / "chrome.json"
+        code = main(
+            [
+                "trace", "--design", "ctrl", "--scale", "0.2",
+                "--deterministic",
+                "--json", str(json_out), "--chrome", str(chrome_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flow" in out and "stage.synthesis" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["schema"] == "repro-trace/1"
+        chrome = json.loads(chrome_out.read_text())
+        assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_trace_execute_workload(self, capsys):
+        code = main(
+            [
+                "trace", "--workload", "execute", "--design", "ctrl",
+                "--scale", "0.2", "--profile", "heavy", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execute" in out
+        assert "executor.billed_seconds" in out

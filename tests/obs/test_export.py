@@ -1,0 +1,108 @@
+"""Exporter tests: JSON tree, structural tree, Chrome trace, text tree."""
+
+import json
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    render_metrics,
+    render_tree,
+    span_tree,
+    structural_tree,
+    to_chrome_trace,
+    to_json_doc,
+)
+
+
+def _sample_tracer():
+    tracer = Tracer(deterministic=True)
+    with tracer.span("root", design="fpu"):
+        with tracer.span("child.a", stage="synthesis"):
+            tracer.event("fault", kind="boot")
+        with tracer.span("child.b"):
+            pass
+    return tracer
+
+
+class TestSpanTree:
+    def test_nesting_and_fields(self):
+        tree = span_tree(_sample_tracer().spans)
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "root"
+        assert root["tags"] == {"design": "fpu"}
+        assert [c["name"] for c in root["children"]] == ["child.a", "child.b"]
+        child = root["children"][0]
+        assert child["events"][0]["name"] == "fault"
+        assert child["duration"] >= 0
+
+    def test_structural_tree_has_no_timings(self):
+        tree = structural_tree(_sample_tracer().spans)
+        root = tree[0]
+        assert set(root) == {"name", "tags", "events", "children"}
+        assert root["tags"] == ["design"]  # keys only, sorted
+        assert root["children"][0]["events"] == ["fault"]
+
+    def test_structural_tree_identical_across_runs(self):
+        assert structural_tree(_sample_tracer().spans) == structural_tree(
+            _sample_tracer().spans
+        )
+
+
+class TestJsonDoc:
+    def test_schema_and_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        doc = to_json_doc(_sample_tracer().spans, reg.snapshot())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["metrics"]["counters"] == {"n": 2.0}
+        json.dumps(doc)  # serializable
+
+    def test_metrics_optional(self):
+        doc = to_json_doc(_sample_tracer().spans)
+        assert "metrics" not in doc
+
+
+class TestChromeTrace:
+    def test_trace_event_format(self):
+        doc = to_chrome_trace(_sample_tracer().spans)
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in complete] == ["root", "child.a", "child.b"]
+        assert len(instants) == 1 and instants[0]["s"] == "t"
+        for event in complete:
+            assert {"name", "ph", "pid", "tid", "ts", "dur", "args"} <= set(
+                event
+            )
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        json.dumps(doc)
+
+    def test_microsecond_conversion(self):
+        tracer = Tracer(deterministic=True)  # ticks are 1.0 s apart
+        with tracer.span("one.tick"):
+            pass
+        event = to_chrome_trace(tracer.spans)["traceEvents"][0]
+        assert event["ts"] == 0.0
+        assert event["dur"] == 1e6
+
+
+class TestTextRenderers:
+    def test_render_tree_shape(self):
+        text = render_tree(_sample_tracer().spans, unit="ms")
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any(line.startswith("  child.a") for line in lines)
+        assert any("* fault" in line for line in lines)
+        assert "design=fpu" in lines[0]
+
+    def test_render_metrics_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        text = render_metrics(reg.snapshot())
+        assert text == render_metrics(reg.snapshot())
+        assert text.index("a") < text.index("b")
+        assert "histogram" in text and "gauge" in text

@@ -1,0 +1,122 @@
+"""Golden-trace tests: the span-tree *shape* of the instrumented hot
+paths is pinned to checked-in JSON.
+
+Run with ``REPRO_UPDATE_GOLDENS=1`` to regenerate after an intentional
+instrumentation change::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/obs/test_golden.py
+
+The comparison uses :func:`repro.obs.export.structural_tree` — names,
+nesting, sorted tag keys, and event names only — so timings and tag
+*values* can never make these flake.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.cloud.executor import ExecutionPolicy, PlanExecutor
+from repro.cloud.faults import FaultProfile
+from repro.cloud.instance import InstanceFamily, VMConfig
+from repro.eda.flow import FlowRunner
+from repro.netlist import benchmarks
+from repro.obs import MetricsRegistry, Tracer, scoped
+from repro.obs.export import structural_tree
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def _check_golden(name: str, tree):
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        path.write_text(json.dumps(tree, indent=2, sort_keys=True) + "\n")
+    assert path.exists(), (
+        f"golden {name} missing — regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+    expected = json.loads(path.read_text())
+    assert tree == expected, (
+        f"span tree drifted from goldens/{name}; if the change is "
+        f"intentional, regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+
+
+def _deterministic_run(workload):
+    tracer = Tracer(deterministic=True)
+    with scoped(tracer=tracer, metrics=MetricsRegistry()):
+        workload()
+    return structural_tree(tracer.spans)
+
+
+class TestFlowGolden:
+    def _run_flow(self):
+        runner = FlowRunner(seed=0)
+        runner.run(benchmarks.build("ctrl", 0.3), seed=0)
+
+    def test_flow_trace_matches_golden(self):
+        _check_golden("flow_trace.json", _deterministic_run(self._run_flow))
+
+    def test_flow_trace_is_deterministic(self):
+        assert _deterministic_run(self._run_flow) == _deterministic_run(
+            self._run_flow
+        )
+
+
+def _executor_plan():
+    spot = VMConfig(
+        name="gp.4x.spot",
+        family=InstanceFamily.GENERAL_PURPOSE,
+        vcpus=4,
+        memory_gb=16.0,
+        price_per_hour=0.06,
+    )
+    on_demand = VMConfig(
+        name="gp.8x",
+        family=InstanceFamily.GENERAL_PURPOSE,
+        vcpus=8,
+        memory_gb=32.0,
+        price_per_hour=0.40,
+    )
+    from repro.cloud.provisioner import DeploymentPlan
+    from repro.eda.job import EDAStage
+
+    plan = DeploymentPlan(design="golden")
+    plan.add(EDAStage.SYNTHESIS, spot, 900.0)
+    plan.add(EDAStage.PLACEMENT, on_demand, 300.0)
+    plan.add(EDAStage.ROUTING, spot, 600.0)
+    plan.add(EDAStage.STA, on_demand, 120.0)
+    return plan
+
+
+class TestExecutorGolden:
+    def _run_executor(self):
+        profile = FaultProfile(
+            spot_interrupt_rate_per_hour=6.0,
+            checkpoint_interval_seconds=120.0,
+            boot_failure_prob=0.2,
+        )
+        executor = PlanExecutor(profile=profile, policy=ExecutionPolicy())
+        executor.execute(_executor_plan(), deadline_seconds=8000.0, seed=7)
+
+    def test_executor_trace_matches_golden(self):
+        _check_golden(
+            "executor_trace.json", _deterministic_run(self._run_executor)
+        )
+
+    def test_executor_trace_is_deterministic(self):
+        assert _deterministic_run(self._run_executor) == _deterministic_run(
+            self._run_executor
+        )
+
+    def test_executor_trace_exercises_faults(self):
+        """The golden scenario must actually contain fault instants —
+        otherwise the golden pins a trivially quiet trace."""
+        tree = _deterministic_run(self._run_executor)
+
+        def events(node):
+            out = list(node["events"])
+            for child in node["children"]:
+                out.extend(events(child))
+            return out
+
+        all_events = [e for root in tree for e in events(root)]
+        assert "preemption" in all_events

@@ -1,0 +1,170 @@
+"""Unit tests for counters, gauges, log-scale histograms, snapshots."""
+
+import pytest
+
+from repro.obs import (
+    MAX_BIN,
+    MIN_BIN,
+    ZERO_BIN,
+    MetricsRegistry,
+    bin_bounds,
+    get_metrics,
+    histogram_bin,
+    merge_snapshots,
+    scoped,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert reg.snapshot().counters == {"hits": 3.5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("loss").set(0.5)
+        reg.gauge("loss").set(0.25)
+        assert reg.snapshot().gauges == {"loss": 0.25}
+
+    def test_unwritten_gauge_absent_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("idle")
+        assert reg.snapshot().gauges == {}
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
+
+
+class TestHistogramBins:
+    def test_power_of_two_binning(self):
+        assert histogram_bin(1.0) == 0
+        assert histogram_bin(1.5) == 0
+        assert histogram_bin(2.0) == 1
+        assert histogram_bin(0.5) == -1
+        assert histogram_bin(1000.0) == 9
+
+    def test_nonpositive_goes_to_zero_bin(self):
+        assert histogram_bin(0.0) == ZERO_BIN
+        assert histogram_bin(-3.0) == ZERO_BIN
+        assert histogram_bin(float("nan")) == ZERO_BIN
+
+    def test_clamping(self):
+        assert histogram_bin(2.0 ** 100) == MAX_BIN
+        assert histogram_bin(2.0 ** -100) == MIN_BIN
+        assert histogram_bin(float("inf")) == MAX_BIN
+
+    def test_bin_bounds_contain_values(self):
+        for value in (0.01, 0.5, 1.0, 3.7, 1024.0):
+            lo, hi = bin_bounds(histogram_bin(value))
+            assert lo <= value < hi
+
+    def test_stats_track_min_max_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("d")
+        for v in (4.0, 1.0, 16.0):
+            h.observe(v)
+        snap = reg.snapshot().histograms["d"]
+        assert snap.count == 3
+        assert snap.total == 21.0
+        assert snap.min == 1.0 and snap.max == 16.0
+        assert sum(c for _, c in snap.bins) == 3
+
+
+class TestSnapshotsAndMerge:
+    def test_snapshot_is_point_in_time(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        reg.counter("c").inc()
+        assert snap.counters == {"c": 1.0}
+        assert reg.snapshot().counters == {"c": 2.0}
+
+    def test_snapshot_equality(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("c").inc(2)
+            reg.gauge("g").set(7)
+            reg.histogram("h").observe(3.0)
+            return reg.snapshot()
+
+        assert build() == build()
+
+    def test_merge_matches_sequential_application(self):
+        ops_a = [("c", 1.0), ("h", 4.0), ("g", 1.0)]
+        ops_b = [("c", 2.0), ("h", 0.25), ("g", 9.0), ("h", 64.0)]
+
+        def apply(reg, ops):
+            for name, value in ops:
+                if name == "c":
+                    reg.counter("count").inc(value)
+                elif name == "g":
+                    reg.gauge("level").set(value)
+                else:
+                    reg.histogram("dist").observe(value)
+
+        ra, rb, rboth = (
+            MetricsRegistry(),
+            MetricsRegistry(),
+            MetricsRegistry(),
+        )
+        apply(ra, ops_a)
+        apply(rb, ops_b)
+        apply(rboth, ops_a)
+        apply(rboth, ops_b)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        assert merged == rboth.snapshot()
+
+    def test_merge_with_disjoint_names(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.counter("a").inc()
+        rb.gauge("b").set(2.0)
+        rb.histogram("h").observe(1.0)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        assert merged.counters == {"a": 1.0}
+        assert merged.gauges == {"b": 2.0}
+        assert merged.histograms["h"].count == 1
+
+    def test_to_dict_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(2.0)
+        doc = reg.snapshot().to_dict()
+        assert list(doc["counters"]) == ["a", "b"]
+        json.dumps(doc)  # must serialize cleanly
+
+
+class TestGlobalRegistry:
+    def test_scoped_swaps_registry(self):
+        fresh = MetricsRegistry()
+        with scoped(metrics=fresh):
+            get_metrics().counter("inside").inc()
+        assert fresh.snapshot().counters == {"inside": 1.0}
+        assert "inside" not in get_metrics().snapshot().counters

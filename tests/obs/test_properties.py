@@ -1,0 +1,152 @@
+"""Seeded-random property tests for span/metric invariants.
+
+Hypothesis-free, mirroring ``tests/verify``: each property is checked
+over many ``random.Random(seed)`` instances, so failures replay from the
+printed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    bin_bounds,
+    histogram_bin,
+    merge_snapshots,
+    well_nested_violations,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _random_span_walk(tracer, rng, max_ops=60):
+    """Random open/close/event walk that always closes what it opens."""
+    stack = []
+    for _ in range(rng.randrange(max_ops)):
+        move = rng.random()
+        if move < 0.45 and len(stack) < 8:
+            ctx = tracer.span(f"op{rng.randrange(6)}", d=rng.randrange(4))
+            stack.append((ctx, ctx.__enter__()))
+        elif move < 0.75 and stack:
+            ctx, _span = stack.pop()
+            ctx.__exit__(None, None, None)
+        else:
+            tracer.event(f"ev{rng.randrange(3)}")
+    while stack:
+        ctx, _span = stack.pop()
+        ctx.__exit__(None, None, None)
+
+
+class TestSpanProperties:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_walks_are_well_nested(self, seed):
+        rng = random.Random(seed)
+        tracer = Tracer(deterministic=True)
+        _random_span_walk(tracer, rng)
+        assert well_nested_violations(tracer.spans) == [], f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mutated_walks_are_caught(self, seed):
+        """Tampering with a finished trace must trip the checker."""
+        rng = random.Random(seed)
+        tracer = Tracer(deterministic=True)
+        with tracer.span("root"):
+            _random_span_walk(tracer, rng, max_ops=30)
+        victim = tracer.spans[rng.randrange(len(tracer.spans))]
+        victim.end = victim.start - 1.0  # negative duration
+        assert well_nested_violations(tracer.spans), f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_ids_unique_and_start_ordered(self, seed):
+        rng = random.Random(seed + 1000)
+        tracer = Tracer(deterministic=True)
+        _random_span_walk(tracer, rng)
+        ids = [s.span_id for s in tracer.spans]
+        assert ids == sorted(set(ids))
+        starts = [s.start for s in tracer.spans]
+        assert starts == sorted(starts)
+
+
+def _random_value(rng):
+    kind = rng.random()
+    if kind < 0.1:
+        return 0.0
+    if kind < 0.2:
+        # Quarter-integers below too: see the comment on positives.
+        return -rng.randrange(1, 400) / 4.0
+    # Quarter-integers: float sums stay exact, so the merge property can
+    # be asserted with == rather than approx.
+    return rng.randrange(1, 1 << 20) / 4.0
+
+
+class TestHistogramProperties:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_bin_counts_sum_to_observation_count(self, seed):
+        rng = random.Random(seed)
+        reg = MetricsRegistry()
+        h = reg.histogram("d")
+        n = rng.randrange(1, 200)
+        for _ in range(n):
+            h.observe(_random_value(rng))
+        snap = reg.snapshot().histograms["d"]
+        assert snap.count == n
+        assert sum(c for _, c in snap.bins) == n
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_every_value_lands_in_its_bin(self, seed):
+        rng = random.Random(seed + 500)
+        for _ in range(50):
+            value = _random_value(rng)
+            lo, hi = bin_bounds(histogram_bin(value))
+            assert lo <= value < hi or (value <= 0 and hi == 0.0)
+
+
+def _random_ops(rng, n):
+    ops = []
+    for _ in range(n):
+        kind = rng.choice(["c", "g", "h"])
+        name = f"{kind}{rng.randrange(3)}"
+        ops.append((kind, name, _random_value(rng) if kind != "c" else
+                    rng.randrange(100) / 4.0))
+    return ops
+
+
+def _apply(reg, ops):
+    for kind, name, value in ops:
+        if kind == "c":
+            reg.counter(name).inc(value)
+        elif kind == "g":
+            reg.gauge(name).set(value)
+        else:
+            reg.histogram(name).observe(value)
+
+
+class TestMergeProperties:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_merge_equals_union(self, seed):
+        rng = random.Random(seed)
+        ops_a = _random_ops(rng, rng.randrange(40))
+        ops_b = _random_ops(rng, rng.randrange(40))
+        ra, rb, rboth = (
+            MetricsRegistry(),
+            MetricsRegistry(),
+            MetricsRegistry(),
+        )
+        _apply(ra, ops_a)
+        _apply(rb, ops_b)
+        _apply(rboth, ops_a)
+        _apply(rboth, ops_b)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        assert merged == rboth.snapshot(), f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_merge_with_empty_is_identity(self, seed):
+        rng = random.Random(seed + 77)
+        reg = MetricsRegistry()
+        _apply(reg, _random_ops(rng, 30))
+        snap = reg.snapshot()
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots(snap, empty) == snap
+        assert merge_snapshots(empty, snap) == snap

@@ -108,13 +108,13 @@ class TestVerifyCommand:
         assert main(["verify", "--list"]) == 0
         out = capsys.readouterr().out
         for name in ("mckp", "schedule", "aig", "cuts", "spot", "executor",
-                     "chaos"):
+                     "chaos", "obs"):
             assert name in out
 
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 7 oracles, 70 trials, 0 violations" in out
+        assert "PASS: 8 oracles, 80 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])

@@ -37,6 +37,7 @@ class TestDriver:
             "spot",
             "executor",
             "chaos",
+            "obs",
         ]
 
     def test_oracle_subset(self):
