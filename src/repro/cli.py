@@ -26,8 +26,12 @@ Exposes the paper's workflow as terminal commands:
   the observability tracer and print/export the hierarchical span tree
   (text, JSON, or Chrome ``chrome://tracing`` format) plus metrics.
 * ``repro bench``        — run the fixed-seed bench workload matrix,
-  write ``BENCH_<rev>.json``, and optionally compare against a baseline
-  file (non-zero exit on regression beyond the tolerance).
+  write ``benchmarks/BENCH_<rev>.json``, append the run to the telemetry
+  store, and optionally compare against a baseline file (non-zero exit
+  on regression beyond the tolerance).
+* ``repro report``       — regression dashboard over the run store:
+  terminal sparklines, MAD outlier warnings, deterministic-metric drift
+  checks (non-zero exit on drift), optional self-contained HTML.
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -146,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument(
         "--list", action="store_true", help="list the registered oracles"
     )
+    p_ver.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="where failing trials write flight-recorder dumps "
+        "(default: $REPRO_CRASH_DIR or benchmarks/runs/crashes)",
+    )
 
     p_exec = sub.add_parser(
         "execute",
@@ -245,8 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--scale", type=float, default=0.3)
     p_bench.add_argument("--epochs", type=int, default=3)
     p_bench.add_argument(
-        "--out", default=".", metavar="DIR",
-        help="directory to write BENCH_<rev>.json into (default: .)",
+        "--out", default="benchmarks", metavar="DIR",
+        help="directory to write BENCH_<rev>.json into (default: benchmarks)",
     )
     p_bench.add_argument(
         "--rev", default=None, help="revision label (default: git short rev)"
@@ -258,6 +267,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--tolerance", type=float, default=25.0, metavar="PCT",
         help="allowed slowdown vs the baseline in percent (default: 25)",
+    )
+    p_bench.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="telemetry store to append the run to "
+        "(default: benchmarks/runs/runs.jsonl)",
+    )
+    p_bench.add_argument(
+        "--no-store", action="store_true",
+        help="do not append the run to the telemetry store",
+    )
+    p_bench.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="UTC timestamp recorded with the run (default: now; library "
+        "code never reads the clock)",
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="regression dashboard over the run store (sparklines, MAD "
+        "outliers, deterministic-drift checks, optional HTML)",
+    )
+    p_report.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="telemetry store to read (default: benchmarks/runs/runs.jsonl)",
+    )
+    p_report.add_argument(
+        "--window", type=int, default=8,
+        help="trailing-window size for the MAD outlier check (default: 8)",
+    )
+    p_report.add_argument(
+        "--metric", action="append", default=None, metavar="SUBSTR",
+        help="only report metrics containing this substring (repeatable)",
+    )
+    p_report.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a self-contained HTML dashboard here",
     )
     return parser
 
@@ -352,19 +397,31 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    from .obs.log import default_crash_dir
     from .verify import ORACLES, run_fuzz, run_trial
+    from .verify.fuzz import dump_trial_forensics
 
     if args.list:
         for name in ORACLES:
             print(name)
         return 0
+    dump_dir = args.dump_dir if args.dump_dir else default_crash_dir()
     if args.replay_seed is not None:
         if not args.oracle or len(args.oracle) != 1:
             print("--replay-seed requires exactly one --oracle", file=sys.stderr)
             return 2
         messages = run_trial(args.oracle[0], args.replay_seed)
         if messages:
-            print(f"replay {args.oracle[0]}@{args.replay_seed}: FAIL")
+            # Re-emit the flight-recorder dump from an isolated
+            # deterministic scope — byte-identical to the original
+            # fuzz run's dump for this seed.
+            path = dump_trial_forensics(
+                args.oracle[0], args.replay_seed, dump_dir
+            )
+            print(
+                f"replay {args.oracle[0]}@{args.replay_seed}: FAIL "
+                f"(dump: {path})"
+            )
             for message in messages:
                 print(f"  {message}")
             return 1
@@ -372,7 +429,10 @@ def _cmd_verify(args) -> int:
         return 0
     try:
         report = run_fuzz(
-            oracle_names=args.oracle, trials=args.trials, seed=args.seed
+            oracle_names=args.oracle,
+            trials=args.trials,
+            seed=args.seed,
+            dump_dir=dump_dir,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -547,6 +607,19 @@ def _cmd_bench(args) -> int:
     for name, wall in doc["workloads"].items():
         print(f"  {name:<10} {wall:8.3f}s wall")
     print(f"bench written to {path}")
+    if not args.no_store:
+        from datetime import datetime, timezone
+
+        from .obs.store import DEFAULT_STORE_PATH, RunStore, bench_to_run
+
+        # The timestamp is taken exactly once, at the CLI boundary —
+        # store and bench internals never read the wall clock.
+        timestamp = args.timestamp or datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+        store = RunStore(args.store or DEFAULT_STORE_PATH)
+        store.append(bench_to_run(doc, timestamp))
+        print(f"run appended to {store.path}")
     if args.baseline is None:
         return 0
     try:
@@ -574,6 +647,33 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .obs.report import build_report, render_html, render_text
+    from .obs.store import DEFAULT_STORE_PATH, RunStore, StoreError
+
+    store = RunStore(args.store or DEFAULT_STORE_PATH)
+    try:
+        runs = store.load()
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.window < 1:
+        print("--window must be >= 1", file=sys.stderr)
+        return 2
+    report = build_report(
+        runs, window=args.window, metric_filter=args.metric
+    )
+    print(render_text(report, store_path=store.path))
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html(report, store_path=store.path))
+            handle.write("\n")
+        print(f"HTML dashboard written to {args.html}")
+    if not runs:
+        return 0
+    return 0 if report.ok else 1
+
+
 def _cmd_benchmarks(_args) -> int:
     print(f"{'name':<14} {'kind':<12} note")
     for name in benchmarks.all_names():
@@ -593,6 +693,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "report": _cmd_report,
 }
 
 

@@ -36,7 +36,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..eda.job import EDAStage
-from ..obs import get_metrics, get_tracer
+from ..obs import get_logger, get_metrics, get_tracer
+from ..obs.log import crash_scope
 from .events import EventKind, ExecutionTrace
 from .faults import FaultInjector, FaultProfile
 from .instance import InstanceFamily, VMConfig
@@ -265,7 +266,25 @@ class PlanExecutor:
         :class:`~repro.core.optimize.StageOptions`) enables mid-flight
         re-planning and catalog-accurate on-demand fallback; without it
         the on-demand twin is reconstructed from the spot discount.
+
+        Runs inside a flight-recorder :func:`crash_scope`: when an
+        enabled logger is installed, any unhandled exception dumps the
+        recent record tail, the open-span stack, and a metric snapshot
+        to a replayable crash report before propagating.
         """
+        with crash_scope("executor", seed):
+            return self._execute(
+                plan, deadline_seconds, seed, stage_options, record_events
+            )
+
+    def _execute(
+        self,
+        plan: DeploymentPlan,
+        deadline_seconds: Optional[float],
+        seed: int,
+        stage_options: Optional[Sequence],
+        record_events: bool,
+    ) -> ExecutionResult:
         injector = FaultInjector(self.profile, seed)
         trace = ExecutionTrace(seed=seed, enabled=record_events)
         result = ExecutionResult(
@@ -281,6 +300,13 @@ class PlanExecutor:
             deadline=deadline_seconds if deadline_seconds is not None else "none",
         )
         tracer = get_tracer()
+        log = get_logger()
+        log.info(
+            "executor.flow_start",
+            design=plan.design,
+            seed=seed,
+            stages=len(assignments),
+        )
         with tracer.span(
             "execute", design=plan.design, seed=seed, stages=len(assignments)
         ) as span:
@@ -297,6 +323,9 @@ class PlanExecutor:
                     t = failure.time
                     trace.record(t, EventKind.FLOW_FAIL, stage=failure.stage)
                     tracer.event("flow_fail", stage=failure.stage, sim_time=t)
+                    log.error(
+                        "executor.flow_fail", stage=failure.stage, sim_time=t
+                    )
                     result.completed = False
                     result.total_time = t
                     span.set_tags(completed=False, sim_seconds=t)
@@ -318,6 +347,12 @@ class PlanExecutor:
             trace.record(
                 t,
                 EventKind.FLOW_COMPLETE,
+                cost=result.total_cost,
+                met_deadline=result.met_deadline,
+            )
+            log.info(
+                "executor.flow_complete",
+                sim_seconds=t,
                 cost=result.total_cost,
                 met_deadline=result.met_deadline,
             )
@@ -376,6 +411,13 @@ class PlanExecutor:
             get_tracer().event(
                 failure.value, stage=stage_key, attempt=attempt, sim_time=t
             )
+            get_logger().warn(
+                f"executor.{failure.value}",
+                stage=stage_key,
+                vm=a.vm.name,
+                attempt=attempt,
+                sim_time=t,
+            )
             if attempt >= retry.max_retries:
                 trace.record(
                     t,
@@ -387,6 +429,14 @@ class PlanExecutor:
                 )
                 get_tracer().event(
                     EventKind.STAGE_ABORT.value, stage=stage_key, sim_time=t
+                )
+                get_logger().error(
+                    "executor.stage_abort",
+                    stage=stage_key,
+                    vm=a.vm.name,
+                    attempt=attempt,
+                    reason="retries_exhausted",
+                    sim_time=t,
                 )
                 raise _StageFailure(stage_key, t)
             delay = retry.backoff_seconds(attempt, injector.jitter(stage_key, attempt))
@@ -402,6 +452,13 @@ class PlanExecutor:
             get_tracer().event(
                 EventKind.BACKOFF.value, stage=stage_key, attempt=attempt,
                 seconds=delay, sim_time=t,
+            )
+            get_logger().debug(
+                "executor.backoff",
+                stage=stage_key,
+                attempt=attempt,
+                seconds=delay,
+                sim_time=t,
             )
             attempt += 1
 
@@ -503,6 +560,14 @@ class PlanExecutor:
                 t, EventKind.STAGE_COMMIT, stage=stage_key, vm=rec.vm.name,
                 wall=rec.wall_seconds, cost=rec.cost,
             )
+            get_logger().debug(
+                "executor.stage_commit",
+                stage=stage_key,
+                vm=rec.vm.name,
+                wall=rec.wall_seconds,
+                cost=rec.cost,
+                sim_time=t,
+            )
             span.set_tags(
                 attempts=rec.attempts,
                 preemptions=rec.preemptions,
@@ -563,6 +628,14 @@ class PlanExecutor:
                 EventKind.PREEMPTION.value, stage=stage_key, lost=draw,
                 count=rec.preemptions, sim_time=t,
             )
+            get_logger().warn(
+                "executor.preemption",
+                stage=stage_key,
+                vm=a.vm.name,
+                lost=draw,
+                count=rec.preemptions,
+                sim_time=t,
+            )
             timed_out = budget is not None and (t - stage_t0) > budget
             if timed_out:
                 trace.record(
@@ -582,6 +655,14 @@ class PlanExecutor:
                 get_tracer().event(
                     EventKind.FALLBACK.value, stage=stage_key, vm=od.name,
                     reason="timeout" if timed_out else "preemptions",
+                    sim_time=t,
+                )
+                get_logger().warn(
+                    "executor.fallback",
+                    stage=stage_key,
+                    vm=od.name,
+                    reason="timeout" if timed_out else "preemptions",
+                    preemptions=rec.preemptions,
                     sim_time=t,
                 )
                 t += remaining

@@ -13,7 +13,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 from ..netlist.aig import AIG
 from ..netlist.cells import Library, nangate_lite
-from ..obs import get_tracer
+from ..obs import get_logger, get_tracer
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .job import EDAStage, JobResult
 from .placement import PlacementEngine
@@ -143,5 +143,11 @@ class FlowRunner:
                 branch_miss_rate=job.counters.branch_miss_rate,
                 cache_miss_rate=job.counters.cache_miss_rate,
                 avx_share=job.counters.avx_share,
+            )
+            get_logger().debug(
+                "flow.stage",
+                design=result.design,
+                stage=stage.value,
+                instructions=job.counters.instructions,
             )
         return job

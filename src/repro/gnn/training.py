@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..obs import get_metrics, get_tracer
+from ..obs import get_logger, get_metrics, get_tracer
+from ..obs.log import crash_scope
 from .dataset import RuntimeSample
 from .model import RuntimeGCN
 from .optim import Adam
@@ -68,35 +69,38 @@ def train(
         result.target_std = np.maximum(targets.std(axis=0), 1e-3)
     order = np.arange(len(samples))
     tracer = get_tracer()
+    log = get_logger()
     loss_gauge = get_metrics().gauge("gnn.train.loss")
     epoch_counter = get_metrics().counter("gnn.train.epochs")
-    with tracer.span(
-        "gnn.train", epochs=config.epochs, samples=len(samples)
-    ):
-        for epoch in range(config.epochs):
-            with tracer.span("gnn.epoch", epoch=epoch) as span:
-                rng.shuffle(order)
-                epoch_loss = 0.0
-                for idx in order:
-                    sample = samples[idx]
-                    target = (
-                        sample.log_runtimes - result.target_offset
-                    ) / result.target_std
-                    pred = model.forward(sample.prepared)
-                    err = pred - target
-                    loss = float(np.mean(err ** 2))
-                    epoch_loss += loss
-                    # d(MSE)/d(pred) = 2 * err / n_outputs
-                    model.zero_grad()
-                    model.backward(2.0 * err / err.size)
-                    optimizer.step()
-                mean_loss = epoch_loss / len(samples)
-                result.losses.append(mean_loss)
-                span.set_tag("loss", mean_loss)
-            loss_gauge.set(mean_loss)
-            epoch_counter.inc()
-            if config.log_every and (epoch + 1) % config.log_every == 0:
-                print(f"epoch {epoch + 1:4d}  loss {mean_loss:.5f}")
+    with crash_scope("gnn.train", config.shuffle_seed):
+        with tracer.span(
+            "gnn.train", epochs=config.epochs, samples=len(samples)
+        ):
+            for epoch in range(config.epochs):
+                with tracer.span("gnn.epoch", epoch=epoch) as span:
+                    rng.shuffle(order)
+                    epoch_loss = 0.0
+                    for idx in order:
+                        sample = samples[idx]
+                        target = (
+                            sample.log_runtimes - result.target_offset
+                        ) / result.target_std
+                        pred = model.forward(sample.prepared)
+                        err = pred - target
+                        loss = float(np.mean(err ** 2))
+                        epoch_loss += loss
+                        # d(MSE)/d(pred) = 2 * err / n_outputs
+                        model.zero_grad()
+                        model.backward(2.0 * err / err.size)
+                        optimizer.step()
+                    mean_loss = epoch_loss / len(samples)
+                    result.losses.append(mean_loss)
+                    span.set_tag("loss", mean_loss)
+                loss_gauge.set(mean_loss)
+                epoch_counter.inc()
+                log.debug("gnn.epoch", epoch=epoch, loss=mean_loss)
+                if config.log_every and (epoch + 1) % config.log_every == 0:
+                    print(f"epoch {epoch + 1:4d}  loss {mean_loss:.5f}")
     return result
 
 

@@ -11,18 +11,35 @@ the same discipline to our own hot paths:
 * :mod:`repro.obs.export`  — JSON, Chrome trace-event, and text-tree
   exporters,
 * :mod:`repro.obs.bench`   — the ``repro bench`` fixed-seed workload
-  matrix and ``BENCH_<rev>.json`` regression comparison.
+  matrix and ``BENCH_<rev>.json`` regression comparison,
+* :mod:`repro.obs.log`     — structured span-correlated log records, the
+  bounded ring-buffer flight recorder, and replayable crash dumps,
+* :mod:`repro.obs.store`   — the append-only multi-run telemetry store
+  (JSONL under ``benchmarks/runs/``) with series/percentile queries,
+* :mod:`repro.obs.report`  — the ``repro report`` terminal/HTML
+  regression dashboard (MAD outliers + deterministic-drift checks).
 
-The global tracer starts **disabled** (instrumented code pays one
-attribute check), the global metric registry is always on (dict-lookup
-cheap).  :func:`scoped` swaps both for the duration of a ``with`` block,
-which is how the CLI commands, the bench harness, and the tests isolate
-their telemetry.
+The global tracer and logger start **disabled** (instrumented code pays
+one attribute check), the global metric registry is always on
+(dict-lookup cheap).  :func:`scoped` swaps any of the three for the
+duration of a ``with`` block, which is how the CLI commands, the bench
+harness, and the tests isolate their telemetry.
 """
 
 from contextlib import contextmanager
 from typing import Optional
 
+from .log import (
+    CRASH_SCHEMA,
+    LogRecord,
+    Logger,
+    build_crash_report,
+    crash_scope,
+    default_crash_dir,
+    get_logger,
+    set_logger,
+    write_crash_report,
+)
 from .metrics import (
     MAX_BIN,
     MIN_BIN,
@@ -38,6 +55,7 @@ from .metrics import (
     histogram_bin,
     merge_snapshots,
     set_metrics,
+    snapshot_from_dict,
 )
 from .spans import (
     NULL_SPAN,
@@ -52,6 +70,7 @@ from .spans import (
 )
 
 __all__ = [
+    "CRASH_SCHEMA",
     "MAX_BIN",
     "MIN_BIN",
     "ZERO_BIN",
@@ -59,6 +78,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "LogRecord",
+    "Logger",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_SPAN",
@@ -67,15 +88,22 @@ __all__ = [
     "TickClock",
     "Tracer",
     "bin_bounds",
+    "build_crash_report",
+    "crash_scope",
+    "default_crash_dir",
+    "get_logger",
     "get_metrics",
     "get_tracer",
     "histogram_bin",
     "merge_snapshots",
     "scoped",
+    "set_logger",
     "set_metrics",
     "set_tracer",
+    "snapshot_from_dict",
     "traced",
     "well_nested_violations",
+    "write_crash_report",
 ]
 
 
@@ -83,14 +111,17 @@ __all__ = [
 def scoped(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    log: Optional[Logger] = None,
 ):
-    """Temporarily install a tracer and/or metric registry as the globals.
+    """Temporarily install tracer/metric-registry/logger globals.
 
     Restores the previous globals on exit even if the body raises; yields
-    ``(tracer, metrics)`` as actually installed.
+    ``(tracer, metrics)`` as actually installed (the logger is reachable
+    via :func:`get_logger`).
     """
     prev_tracer = set_tracer(tracer) if tracer is not None else None
     prev_metrics = set_metrics(metrics) if metrics is not None else None
+    prev_logger = set_logger(log) if log is not None else None
     try:
         yield get_tracer(), get_metrics()
     finally:
@@ -98,3 +129,5 @@ def scoped(
             set_tracer(prev_tracer)
         if metrics is not None:
             set_metrics(prev_metrics)
+        if log is not None:
+            set_logger(prev_logger)

@@ -37,6 +37,7 @@ from ..netlist import benchmarks
 from ..netlist.stargraph import aig_to_graph
 from . import scoped
 from .export import structural_tree
+from .log import Logger
 from .metrics import MetricsRegistry
 from .spans import Span, Tracer
 
@@ -128,7 +129,8 @@ def run_bench(
     """Run the fixed workload matrix; returns the bench document."""
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry()
-    with scoped(tracer=tracer, metrics=registry):
+    logger = Logger()
+    with scoped(tracer=tracer, metrics=registry, log=logger):
         workloads: Dict[str, float] = {}
 
         # -- workload 1: the four-stage flow at 1/2/4/8 vCPUs ------------
@@ -198,8 +200,10 @@ def bench_filename(rev: str) -> str:
     return f"BENCH_{rev}.json"
 
 
-def write_bench(doc: dict, directory: str = ".") -> str:
-    """Write ``BENCH_<rev>.json`` into ``directory``; returns the path."""
+def write_bench(doc: dict, directory: str = "benchmarks") -> str:
+    """Write ``BENCH_<rev>.json`` into ``directory`` (not the CWD, so
+    the bench gate and the run-store dashboard read from one place);
+    returns the path."""
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, bench_filename(doc["rev"]))
     with open(path, "w") as handle:

@@ -30,6 +30,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "merge_snapshots",
+    "snapshot_from_dict",
     "histogram_bin",
     "bin_bounds",
     "get_metrics",
@@ -251,6 +252,31 @@ def merge_snapshots(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot:
         )
     return MetricsSnapshot(
         counters=counters, gauges=gauges, histograms=histograms
+    )
+
+
+def snapshot_from_dict(doc: dict) -> MetricsSnapshot:
+    """Inverse of :meth:`MetricsSnapshot.to_dict` (JSON round-trip).
+
+    The run store persists snapshots as JSON; this rebuilds the typed
+    form so stored runs can be merged and queried with the same algebra
+    as live registries.
+    """
+    histograms: Dict[str, HistogramSnapshot] = {}
+    for name, h in doc.get("histograms", {}).items():
+        histograms[name] = HistogramSnapshot(
+            count=int(h["count"]),
+            total=float(h["total"]),
+            min=h.get("min"),
+            max=h.get("max"),
+            bins=tuple(
+                sorted((int(k), int(v)) for k, v in h.get("bins", {}).items())
+            ),
+        )
+    return MetricsSnapshot(
+        counters={k: float(v) for k, v in doc.get("counters", {}).items()},
+        gauges={k: float(v) for k, v in doc.get("gauges", {}).items()},
+        histograms=histograms,
     )
 
 

@@ -172,6 +172,12 @@ class Tracer:
         self.orphan_events: List[SpanEvent] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Innermost-first snapshot of the open-span stack, captured at the
+        # moment an exception started unwinding (see _record_span).  Holds
+        # a strong reference to the exception until reset() — the flight
+        # recorder reads it while building a crash report.
+        self._crash_exc: Optional[BaseException] = None
+        self._crash_stack: List[Span] = []
 
     # -- span stack -------------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -184,6 +190,24 @@ class Tracer:
         """The innermost open span on this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def open_stack(self) -> List[Span]:
+        """Copy of this thread's open-span stack, outermost first."""
+        return list(self._stack())
+
+    def crash_stack(self, exc: Optional[BaseException] = None) -> List[Span]:
+        """The open-span stack as it stood when ``exc`` started unwinding.
+
+        Span context managers close (in ``finally``) while an exception
+        propagates, so by the time an outer handler runs the stack is
+        already empty.  ``_record_span`` snapshots the stack the first
+        time it sees a given exception; passing that exception here
+        returns the snapshot.  For any other (or no) exception this falls
+        back to the live open stack.
+        """
+        if exc is not None and self._crash_exc is exc:
+            return list(self._crash_stack)
+        return self.open_stack()
 
     # -- recording --------------------------------------------------------
     def span(self, name: str, **tags):
@@ -209,6 +233,13 @@ class Tracer:
         stack.append(span)
         try:
             yield span
+        except BaseException as exc:
+            # First span to see this exception is the innermost one, so
+            # the stack snapshot below is the full crash stack.
+            if self._crash_exc is not exc:
+                self._crash_exc = exc
+                self._crash_stack = list(stack)
+            raise
         finally:
             stack.pop()
             with self._lock:
@@ -244,6 +275,8 @@ class Tracer:
         with self._lock:
             self.spans = []
             self.orphan_events = []
+            self._crash_exc = None
+            self._crash_stack = []
         self._local = threading.local()
 
 

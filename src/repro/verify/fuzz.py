@@ -21,7 +21,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..eda.synthesis import balance
-from ..obs import get_metrics, get_tracer
+from ..obs import (
+    Logger,
+    MetricsRegistry,
+    Tracer,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    scoped,
+)
+from ..obs.log import build_crash_report, crash_scope, write_crash_report
 from . import generators, oracles
 
 __all__ = [
@@ -32,6 +41,7 @@ __all__ = [
     "trial_seed",
     "run_trial",
     "run_fuzz",
+    "dump_trial_forensics",
 ]
 
 
@@ -119,7 +129,55 @@ def run_trial(oracle: str, seed: int) -> List[str]:
         raise ValueError(
             f"unknown oracle {oracle!r}; known: {', '.join(ORACLES)}"
         )
-    return ORACLES[oracle](random.Random(seed))
+    log = get_logger()
+    log.debug("verify.trial", oracle=oracle, seed=seed)
+    messages = ORACLES[oracle](random.Random(seed))
+    for message in messages:
+        log.warn(
+            "verify.violation", oracle=oracle, seed=seed, violation=message
+        )
+    return messages
+
+
+def dump_trial_forensics(
+    oracle: str, seed: int, directory: Optional[str] = None
+) -> str:
+    """Replay one trial in an isolated deterministic scope and dump it.
+
+    Installs a fresh tick-clock tracer, a fresh metric registry, and a
+    fresh deterministic flight recorder, re-runs the trial, and writes a
+    ``repro-crash/1`` document carrying the record tail, the span stack
+    at the point of any raise, a metric snapshot, and the oracle's
+    violation messages.  Because the scope is fully isolated and every
+    clock is a tick clock, the same ``(oracle, seed)`` always produces
+    **byte-identical** dump files — ``repro verify --replay-seed`` and
+    the original fuzz run emit the same bytes.
+    """
+    if oracle not in ORACLES:
+        raise ValueError(
+            f"unknown oracle {oracle!r}; known: {', '.join(ORACLES)}"
+        )
+    tracer = Tracer(deterministic=True)
+    registry = MetricsRegistry()
+    logger = Logger(deterministic=True)
+    messages: List[str] = []
+    caught: Optional[Exception] = None
+    with scoped(tracer=tracer, metrics=registry, log=logger):
+        try:
+            with tracer.span("verify.replay", oracle=oracle, seed=seed):
+                messages = run_trial(oracle, seed)
+        except Exception as exc:
+            caught = exc
+    doc = build_crash_report(
+        component=f"verify.{oracle}",
+        seed=seed,
+        exc=caught,
+        logger=logger,
+        tracer=tracer,
+        metrics=registry,
+    )
+    doc["messages"] = list(messages)
+    return write_crash_report(doc, directory)
 
 
 @dataclass(frozen=True)
@@ -130,6 +188,7 @@ class FuzzFailure:
     trial: int
     seed: int
     messages: Tuple[str, ...]
+    dump_path: Optional[str] = None
 
 
 @dataclass
@@ -174,9 +233,15 @@ class FuzzReport:
                 f"  {report.name:<10} {report.trials:>6} trials   {status}"
             )
             for failure in report.failures:
+                dump = (
+                    f"; dump: {failure.dump_path}"
+                    if failure.dump_path is not None
+                    else ""
+                )
                 lines.append(
                     f"    trial {failure.trial} (replay: repro verify "
-                    f"--oracle {failure.oracle} --replay-seed {failure.seed})"
+                    f"--oracle {failure.oracle} --replay-seed {failure.seed}"
+                    f"{dump})"
                 )
                 for message in failure.messages:
                     lines.append(f"      {message}")
@@ -194,6 +259,7 @@ def run_fuzz(
     trials: int = 200,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    dump_dir: Optional[str] = None,
 ) -> FuzzReport:
     """Run ``trials`` seeded trials for each selected oracle.
 
@@ -207,6 +273,11 @@ def run_fuzz(
         Base seed; the same seed always produces the same report.
     progress:
         Optional per-oracle line sink (the CLI passes ``print``).
+    dump_dir:
+        When set, every failing trial also writes a flight-recorder
+        forensics dump (:func:`dump_trial_forensics`) into this
+        directory, and the report prints the dump path next to the
+        replay seed.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -229,18 +300,27 @@ def run_fuzz(
                     with tracer.span(
                         "verify.trial", oracle=name, trial=trial
                     ) as span:
-                        messages = run_trial(name, tseed)
+                        with crash_scope(
+                            f"verify.{name}", tseed, directory=dump_dir
+                        ):
+                            messages = run_trial(name, tseed)
                         trial_counter.inc()
                         if messages:
                             failure_counter.inc()
                             span.set_tag("violations", len(messages))
                     if messages:
+                        dump_path = (
+                            dump_trial_forensics(name, tseed, dump_dir)
+                            if dump_dir is not None
+                            else None
+                        )
                         oracle_report.failures.append(
                             FuzzFailure(
                                 oracle=name,
                                 trial=trial,
                                 seed=tseed,
                                 messages=tuple(messages),
+                                dump_path=dump_path,
                             )
                         )
             report.oracles.append(oracle_report)

@@ -116,6 +116,7 @@ class TestBenchCli:
         args = [
             "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
             "--rev", "cli", "--out", str(out),
+            "--store", str(tmp_path / "runs.jsonl"),
         ]
         assert main(args) == 0
         path = out / "BENCH_cli.json"
@@ -130,7 +131,7 @@ class TestBenchCli:
         out = tmp_path / "bench"
         args = [
             "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
-            "--rev", "cli", "--out", str(out),
+            "--rev", "cli", "--out", str(out), "--no-store",
         ]
         assert main(args) == 0
         path = out / "BENCH_cli.json"
@@ -151,7 +152,7 @@ class TestBenchCli:
         code = main(
             [
                 "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
-                "--rev", "cli", "--out", str(tmp_path),
+                "--rev", "cli", "--out", str(tmp_path), "--no-store",
                 "--baseline", str(tmp_path / "nope.json"),
             ]
         )

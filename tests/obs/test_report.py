@@ -1,0 +1,200 @@
+"""Report tests: sparklines, MAD outliers, deterministic drift, HTML."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.report import (
+    DETERMINISTIC_METRICS,
+    build_report,
+    deterministic_drift,
+    mad_outlier,
+    render_html,
+    render_text,
+    sparkline,
+)
+from repro.obs.store import RunRecord
+
+
+def _run(rev, cost=0.5, loss=0.25, seed=0, hist_values=()):
+    registry = MetricsRegistry()
+    registry.counter("executor.billed_cost").inc(cost)
+    registry.gauge("gnn.train.loss").set(loss)
+    for value in hist_values:
+        registry.histogram("stage.seconds").observe(value)
+    return RunRecord(
+        kind="bench",
+        rev=rev,
+        seed=seed,
+        timestamp_utc="2026-08-06T00:00:00Z",
+        scale=0.3,
+        labels={"design": "ctrl"},
+        metrics=registry.snapshot().to_dict(),
+    )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_rises(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestMadOutlier:
+    def test_needs_four_values(self):
+        assert mad_outlier([1.0, 1.0, 5.0]) is None
+
+    def test_stable_series_not_flagged(self):
+        assert mad_outlier([1.0, 1.1, 0.9, 1.0, 1.05]) is None
+
+    def test_spike_flagged(self):
+        message = mad_outlier([1.0, 1.1, 0.9, 1.0, 1.05, 50.0])
+        assert message is not None
+        assert "outlier" in message
+
+    def test_constant_baseline_jump_flagged(self):
+        message = mad_outlier([1.0, 1.0, 1.0, 1.0, 2.0])
+        assert message is not None
+        assert "constant baseline" in message
+
+    def test_constant_baseline_constant_latest_ok(self):
+        assert mad_outlier([1.0, 1.0, 1.0, 1.0, 1.0]) is None
+
+    def test_window_limits_baseline(self):
+        # Spike relative to the recent window even if ancient history
+        # contained similar values.
+        values = [50.0] + [1.0] * 8 + [50.0]
+        assert mad_outlier(values, window=8) is not None
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            mad_outlier([1.0, 2.0, 3.0, 4.0], window=0)
+
+
+class TestDeterministicDrift:
+    def test_stable_group_not_flagged(self):
+        runs = [_run("a"), _run("b"), _run("c")]
+        assert deterministic_drift(runs) == []
+
+    def test_drift_within_group_flagged(self):
+        runs = [_run("a"), _run("b"), _run("c", cost=0.75)]
+        flags = deterministic_drift(runs)
+        assert len(flags) == 1
+        flag = flags[0]
+        assert flag.metric == "executor.billed_cost"
+        assert flag.kind == "deterministic"
+        assert "bit-stable" in flag.message
+        assert "c=" in flag.message
+
+    def test_different_seeds_are_different_groups(self):
+        runs = [_run("a", seed=0, cost=0.5), _run("b", seed=1, cost=0.75)]
+        assert deterministic_drift(runs) == []
+
+    def test_nondeterministic_metric_ignored(self):
+        runs = [_run("a", loss=0.25), _run("b", loss=0.30)]
+        assert deterministic_drift(runs) == []
+        assert "gnn.train.loss" not in DETERMINISTIC_METRICS
+
+
+class TestBuildReport:
+    def test_empty_store(self):
+        report = build_report([])
+        assert report.ok
+        assert report.rows == []
+
+    def test_three_run_store_flags_injected_cost_drift(self):
+        # Acceptance: `repro report` over a 3-run store flags injected
+        # billed-cost drift as a deterministic regression.
+        runs = [_run("a"), _run("b"), _run("c", cost=0.75)]
+        report = build_report(runs)
+        assert not report.ok
+        assert [f.metric for f in report.drift] == ["executor.billed_cost"]
+
+    def test_rows_cover_counters_and_gauges(self):
+        report = build_report([_run("a"), _run("b")])
+        names = [row.name for row in report.rows]
+        assert "executor.billed_cost" in names
+        assert "gnn.train.loss" in names
+
+    def test_metric_filter(self):
+        report = build_report([_run("a")], metric_filter=["gnn."])
+        assert [row.name for row in report.rows] == ["gnn.train.loss"]
+
+    def test_histogram_rows(self):
+        report = build_report([_run("a", hist_values=[1.0, 2.0, 3.0])])
+        assert [h.name for h in report.histogram_rows] == ["stage.seconds"]
+        assert report.histogram_rows[0].count == 3
+
+    def test_mad_flags_are_warnings_not_failures(self):
+        runs = [_run(str(i), loss=0.25) for i in range(5)]
+        runs.append(_run("spike", loss=9.0))
+        report = build_report(runs)
+        assert report.ok  # MAD outliers never fail the report
+        assert any(f.metric == "gnn.train.loss" for f in report.outliers)
+
+
+class TestRenderText:
+    def test_empty_store_notice(self):
+        text = render_text(build_report([]), store_path="x.jsonl")
+        assert text == "repro report: no runs in x.jsonl"
+
+    def test_summary_and_sparklines(self):
+        text = render_text(build_report([_run("a"), _run("b")]))
+        assert "2 runs" in text
+        assert "executor.billed_cost" in text
+        assert "bit-stable" in text
+
+    def test_drift_rendered_with_banner(self):
+        runs = [_run("a"), _run("b"), _run("c", cost=0.75)]
+        text = render_text(build_report(runs))
+        assert "DETERMINISTIC DRIFT" in text
+        assert "✗" in text
+
+    def test_deterministic_output(self):
+        runs = [_run("a"), _run("b")]
+        assert render_text(build_report(runs)) == render_text(
+            build_report(runs)
+        )
+
+
+class TestRenderHtml:
+    def test_self_contained(self):
+        html = render_html(build_report([_run("a"), _run("b")]))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        assert "<svg" in html  # inline sparklines
+        assert "http://" not in html and "https://" not in html
+
+    def test_empty_store(self):
+        html = render_html(build_report([]), store_path="x.jsonl")
+        assert "no runs" in html
+
+    def test_drift_rendered_in_red_with_chip(self):
+        runs = [_run("a"), _run("b"), _run("c", cost=0.75)]
+        html = render_html(build_report(runs))
+        assert "--status-critical" in html
+        assert 'class="drift"' in html
+        assert "✗ drift" in html
+        assert "correctness bug" in html
+
+    def test_mad_outlier_chip(self):
+        runs = [_run(str(i), loss=0.25) for i in range(5)]
+        runs.append(_run("spike", loss=9.0))
+        html = render_html(build_report(runs))
+        assert "MAD outlier" in html
+
+    def test_dark_mode_palette_present(self):
+        html = render_html(build_report([_run("a")]))
+        assert "prefers-color-scheme: dark" in html
+
+    def test_metadata_table_lists_runs(self):
+        html = render_html(build_report([_run("a"), _run("b")]))
+        assert "<h2>Runs</h2>" in html
+        assert "2026-08-06T00:00:00Z" in html

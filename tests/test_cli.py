@@ -219,3 +219,134 @@ class TestChaosCommand:
         first = capsys.readouterr().out
         main(["chaos", "--trials", "3", "--convergence-trials", "150"])
         assert capsys.readouterr().out == first
+
+
+class TestErrorPaths:
+    def test_unknown_subcommand_exits_with_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["frobnicate"])
+        assert err.value.code == 2
+
+    def test_report_corrupt_store_is_named_error(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        store.write_text('{"schema": "repro-runs/99", "kind": "bench"}\n')
+        assert main(["report", "--store", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "schema mismatch" in err
+        assert "repro-runs/99" in err
+        assert "KeyError" not in err
+
+    def test_report_undecodable_store_reports_line(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        store.write_text("{broken\n")
+        assert main(["report", "--store", str(store)]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_report_empty_store_exits_zero(self, tmp_path, capsys):
+        store = tmp_path / "absent.jsonl"
+        assert main(["report", "--store", str(store)]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_report_bad_window_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["report", "--store", str(tmp_path / "x.jsonl"), "--window", "0"]
+        ) == 2
+
+
+class TestBenchStoreAndReport:
+    def _bench(self, tmp_path, rev, timestamp):
+        return [
+            "bench", "--seed", "0", "--scale", "0.2", "--epochs", "2",
+            "--rev", rev, "--out", str(tmp_path / "out"),
+            "--store", str(tmp_path / "runs.jsonl"),
+            "--timestamp", timestamp,
+        ]
+
+    def test_bench_appends_to_store(self, tmp_path, capsys):
+        assert main(self._bench(tmp_path, "r1", "2026-08-06T00:00:00Z")) == 0
+        out = capsys.readouterr().out
+        assert "run appended to" in out
+        store = tmp_path / "runs.jsonl"
+        assert store.exists()
+        assert len(store.read_text().splitlines()) == 1
+
+    def test_bench_no_store_skips_append(self, tmp_path, capsys):
+        args = self._bench(tmp_path, "r1", "2026-08-06T00:00:00Z")
+        assert main(args + ["--no-store"]) == 0
+        assert "run appended" not in capsys.readouterr().out
+        assert not (tmp_path / "runs.jsonl").exists()
+
+    def test_report_over_three_runs_flags_injected_drift(
+        self, tmp_path, capsys
+    ):
+        # Acceptance: a 3-run store with injected billed-cost drift makes
+        # `repro report` exit 1 with a deterministic-drift flag.
+        import json
+
+        for i, rev in enumerate(("r1", "r2", "r3")):
+            assert main(
+                self._bench(tmp_path, rev, f"2026-08-06T0{i}:00:00Z")
+            ) == 0
+        capsys.readouterr()
+        store = tmp_path / "runs.jsonl"
+        assert main(["report", "--store", str(store)]) == 0
+        clean = capsys.readouterr().out
+        assert "3 runs" in clean
+        assert "bit-stable" in clean
+        # Inject drift into the last run's billed cost.
+        lines = store.read_text().splitlines()
+        doc = json.loads(lines[-1])
+        doc["metrics"]["counters"]["executor.billed_cost"] *= 1.5
+        lines[-1] = json.dumps(doc, sort_keys=True)
+        store.write_text("\n".join(lines) + "\n")
+        assert main(["report", "--store", str(store)]) == 1
+        drifted = capsys.readouterr().out
+        assert "DETERMINISTIC DRIFT" in drifted
+        assert "executor.billed_cost" in drifted
+
+    def test_report_html_output(self, tmp_path, capsys):
+        assert main(self._bench(tmp_path, "r1", "2026-08-06T00:00:00Z")) == 0
+        html_path = tmp_path / "report.html"
+        assert main(
+            [
+                "report", "--store", str(tmp_path / "runs.jsonl"),
+                "--html", str(html_path),
+            ]
+        ) == 0
+        assert "HTML dashboard written" in capsys.readouterr().out
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+
+    def test_report_metric_filter(self, tmp_path, capsys):
+        assert main(self._bench(tmp_path, "r1", "2026-08-06T00:00:00Z")) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "report", "--store", str(tmp_path / "runs.jsonl"),
+                "--metric", "gnn.",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gnn.train.loss" in out
+        assert "flow.runtime_seconds" not in out
+
+
+class TestVerifyReplayDump:
+    def test_failing_replay_prints_dump_path(self, tmp_path, capsys, monkeypatch):
+        from repro.verify.fuzz import ORACLES
+
+        monkeypatch.setitem(ORACLES, "boom", lambda rng: ["it broke"])
+        code = main(
+            [
+                "verify", "--oracle", "boom", "--replay-seed", "77",
+                "--dump-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "replay boom@77: FAIL" in out
+        assert "dump:" in out
+        assert "it broke" in out
+        dump = tmp_path / "crash_verify.boom_77.json"
+        assert dump.exists()
