@@ -29,6 +29,11 @@ Exposes the paper's workflow as terminal commands:
   write ``benchmarks/BENCH_<rev>.json``, append the run to the telemetry
   store, and optionally compare against a baseline file (non-zero exit
   on regression beyond the tolerance).
+* ``repro profile``      — run a workload under the tracer and print the
+  per-frame *self-time* profile; export folded stacks (flamegraph
+  input), a self-contained HTML flame view, or the profile JSON; or
+  diff two saved profiles (``--diff A B``, non-zero exit on
+  regression).
 * ``repro report``       — regression dashboard over the run store:
   terminal sparklines, MAD outlier warnings, deterministic-metric drift
   checks (non-zero exit on drift), optional self-contained HTML.
@@ -283,6 +288,71 @@ def build_parser() -> argparse.ArgumentParser:
         "code never reads the clock)",
     )
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a workload under the tracer and print the self-time "
+        "profile (folded stacks / flame HTML / JSON), or diff two "
+        "saved profiles",
+    )
+    p_prof.add_argument(
+        "--workload",
+        choices=["flow", "execute"],
+        default="flow",
+        help="what to profile (default: flow)",
+    )
+    p_prof.add_argument("--design", default="ctrl")
+    p_prof.add_argument("--scale", type=float, default=0.5)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--profile",
+        dest="fault_profile",
+        choices=sorted(FAULT_PROFILES),
+        default="calm",
+        help="fault profile for --workload execute",
+    )
+    p_prof.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="tick clock: byte-stable folded/JSON output for one seed",
+    )
+    p_prof.add_argument(
+        "--sampling",
+        action="store_true",
+        help="also run the sys.setprofile sampling profiler and print "
+        "its hottest Python frames (wall-clock, non-deterministic)",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows to print in the frame table (default: 15)",
+    )
+    p_prof.add_argument(
+        "--folded", default=None, metavar="FILE",
+        help="write Brendan-Gregg collapsed/folded stacks here",
+    )
+    p_prof.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="write a self-contained HTML flame view here",
+    )
+    p_prof.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the repro-profile/1 JSON document here",
+    )
+    p_prof.add_argument(
+        "--diff", nargs=2, default=None, metavar=("BASELINE", "CURRENT"),
+        help="diff two saved profiles (folded or JSON) instead of "
+        "running a workload; exits 1 when anything regressed",
+    )
+    p_prof.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="PCT",
+        help="--diff: ignore self-time deltas within this percent of "
+        "the baseline frame (default: 0)",
+    )
+    p_prof.add_argument(
+        "--abs-guard", type=float, default=0.0, metavar="SECONDS",
+        help="--diff: ignore self-time deltas below this many seconds "
+        "(default: 0)",
+    )
+
     p_report = sub.add_parser(
         "report",
         help="regression dashboard over the run store (sparklines, MAD "
@@ -520,6 +590,46 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok and not violations else 1
 
 
+def _run_traced_workload(
+    workload: str,
+    design: str,
+    scale: float,
+    seed: int,
+    fault_profile: str = "calm",
+) -> None:
+    """Run one seeded workload under the already-scoped obs globals.
+
+    Shared by ``repro trace`` and ``repro profile`` so both commands
+    measure exactly the same code paths.
+    """
+    if workload == "flow":
+        from .perf import make_instrument
+
+        runner = FlowRunner(seed=seed)
+        aig = benchmarks.build(design, scale)
+        instruments = {
+            stage: make_instrument(4, sample_rate=4)
+            for stage in EDAStage.ordered()
+        }
+        runner.run(aig, seed=seed, instruments=instruments)
+    else:
+        from .cloud.executor import ExecutionPolicy, PlanExecutor
+        from .obs.bench import _bench_plan
+
+        runner = FlowRunner(seed=seed)
+        aig = benchmarks.build(design, scale)
+        flow = runner.run(aig, seed=seed)
+        plan = _bench_plan({s: r.runtime(4) for s, r in flow.stages.items()})
+        PlanExecutor(
+            profile=FAULT_PROFILES[fault_profile](),
+            policy=ExecutionPolicy(),
+        ).execute(
+            plan,
+            deadline_seconds=plan.total_runtime * 4,
+            seed=seed,
+        )
+
+
 def _cmd_trace(args) -> int:
     import json as _json
 
@@ -534,34 +644,13 @@ def _cmd_trace(args) -> int:
     tracer = Tracer(deterministic=args.deterministic)
     registry = MetricsRegistry()
     with scoped(tracer=tracer, metrics=registry):
-        if args.workload == "flow":
-            from .perf import make_instrument
-
-            runner = FlowRunner(seed=args.seed)
-            aig = benchmarks.build(args.design, args.scale)
-            instruments = {
-                stage: make_instrument(4, sample_rate=4)
-                for stage in EDAStage.ordered()
-            }
-            runner.run(aig, seed=args.seed, instruments=instruments)
-        else:
-            from .cloud.executor import ExecutionPolicy, PlanExecutor
-            from .obs.bench import _bench_plan
-
-            runner = FlowRunner(seed=args.seed)
-            aig = benchmarks.build(args.design, args.scale)
-            flow = runner.run(aig, seed=args.seed)
-            plan = _bench_plan(
-                {s: r.runtime(4) for s, r in flow.stages.items()}
-            )
-            PlanExecutor(
-                profile=FAULT_PROFILES[args.profile](),
-                policy=ExecutionPolicy(),
-            ).execute(
-                plan,
-                deadline_seconds=plan.total_runtime * 4,
-                seed=args.seed,
-            )
+        _run_traced_workload(
+            args.workload,
+            args.design,
+            args.scale,
+            args.seed,
+            fault_profile=args.profile,
+        )
     snapshot = registry.snapshot()
     print(render_tree(tracer.spans, unit="ms"))
     rendered = render_metrics(snapshot)
@@ -647,6 +736,94 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json as _json
+
+    from .obs import MetricsRegistry, Tracer, scoped
+    from .obs.profile import (
+        SamplingProfiler,
+        build_profile,
+        diff_profiles,
+        load_profile,
+        render_diff,
+        render_flame_html,
+        render_profile,
+    )
+
+    if args.diff is not None:
+        baseline_path, current_path = args.diff
+        try:
+            baseline = load_profile(baseline_path)
+            current = load_profile(current_path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load profile: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_profiles(
+            baseline,
+            current,
+            tolerance_pct=args.tolerance,
+            abs_guard_seconds=args.abs_guard,
+        )
+        print(render_diff(diff, top=args.top))
+        return 1 if diff.regressions else 0
+
+    tracer = Tracer(deterministic=args.deterministic)
+    registry = MetricsRegistry()
+    sampler = SamplingProfiler() if args.sampling else None
+    with scoped(tracer=tracer, metrics=registry):
+        if sampler is not None:
+            with sampler:
+                _run_traced_workload(
+                    args.workload,
+                    args.design,
+                    args.scale,
+                    args.seed,
+                    fault_profile=args.fault_profile,
+                )
+        else:
+            _run_traced_workload(
+                args.workload,
+                args.design,
+                args.scale,
+                args.seed,
+                fault_profile=args.fault_profile,
+            )
+    meta = {
+        "workload": args.workload,
+        "design": args.design,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+    profile = build_profile(
+        tracer.spans, deterministic=args.deterministic, meta=meta
+    )
+    print(render_profile(profile, top=args.top))
+    if sampler is not None:
+        print()
+        print("sampling profiler (python frames, wall-clock):")
+        for frame in sampler.profile.top(args.top):
+            print(
+                f"  {1e3 * frame.self_time:>10.3f}ms "
+                f"{frame.calls:>7} calls  {frame.name}"
+            )
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(profile.to_folded())
+        print(f"folded stacks written to {args.folded}")
+    if args.html:
+        title = f"repro profile — {args.workload} {args.design}"
+        with open(args.html, "w") as handle:
+            handle.write(render_flame_html(profile, title=title))
+            handle.write("\n")
+        print(f"flame view written to {args.html}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(profile.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"profile JSON written to {args.json}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .obs.report import build_report, render_html, render_text
     from .obs.store import DEFAULT_STORE_PATH, RunStore, StoreError
@@ -693,6 +870,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
     "report": _cmd_report,
 }
 

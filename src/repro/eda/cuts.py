@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.aig import AIG, lit_is_complemented, lit_node
+from ..obs import get_tracer
 from ..perf.instrument import NullInstrument
 from .truthtables import expand_table, full_mask
 
@@ -92,77 +93,89 @@ def enumerate_cuts(
     stats = CutEnumStats()
     cuts: CutSet = {}
     trivial_table = 0b10  # identity over one variable
-    for node in range(aig.size):
-        if node == 0:
-            cuts[0] = [Cut(leaves=(0,), table=trivial_table)]
-            continue
-        if aig.is_input(node):
-            cuts[node] = [Cut(leaves=(node,), table=trivial_table)]
-            continue
-        fan_a, fan_b = aig.fanins(node)
-        list_a = cuts[lit_node(fan_a)]
-        list_b = cuts[lit_node(fan_b)]
-        compl_a = lit_is_complemented(fan_a)
-        compl_b = lit_is_complemented(fan_b)
-        merged: List[Cut] = []
-        seen_leaves = set()
-        keep_branches = []
-        addresses = []
-        if inst.enabled:
-            # Node record plus both fanin records: fanins are recent nodes,
-            # so the stream has strong temporal locality (synthesis's low
-            # cache-miss signature).
-            # Node records are allocated in a recycled hot window (the
-            # allocator keeps recently-touched nodes resident), so the
-            # stream mostly hits cache at any VM size.
-            addresses.extend(
-                (
-                    (node & 0x7FF) * 8,
-                    (lit_node(fan_a) & 0x7FF) * 8,
-                    (lit_node(fan_b) & 0x7FF) * 8,
-                )
-            )
-        for ca in list_a:
-            for cb in list_b:
-                stats.merges += 1
-                union = tuple(sorted(set(ca.leaves) | set(cb.leaves)))
-                if len(union) > k:
-                    stats.pruned += 1
-                    keep_branches.append(False)
-                    continue
-                if union in seen_leaves:
-                    stats.pruned += 1
-                    keep_branches.append(False)
-                    continue
-                nvars = len(union)
-                ta = _lift(ca, union)
-                tb = _lift(cb, union)
-                if compl_a:
-                    ta = ~ta & full_mask(nvars)
-                if compl_b:
-                    tb = ~tb & full_mask(nvars)
-                merged.append(Cut(leaves=union, table=ta & tb))
-                seen_leaves.add(union)
-                keep_branches.append(True)
-                stats.kept += 1
-        # Dominance filter: drop any cut whose leaves are a strict superset
-        # of another kept cut's leaves.
-        merged.sort(key=lambda c: (c.size, c.leaves))
-        filtered: List[Cut] = []
-        for cut in merged:
-            leaf_set = set(cut.leaves)
-            dominated = any(set(f.leaves) < leaf_set for f in filtered)
-            keep_branches.append(not dominated)
-            if dominated:
-                stats.pruned += 1
+    counters_before = inst.snapshot()
+    # Profiler hook: one span per enumeration call (the rewriter and the
+    # mapper each call once per pass, so this stays bounded) with the
+    # merge/prune totals and fused counter delta as tags.
+    with get_tracer().span("cuts.enumerate", k=k, cap=cap) as enum_span:
+        for node in range(aig.size):
+            if node == 0:
+                cuts[0] = [Cut(leaves=(0,), table=trivial_table)]
                 continue
-            filtered.append(cut)
-        filtered = filtered[:cap]
-        filtered.append(Cut(leaves=(node,), table=trivial_table))
-        cuts[node] = filtered
-        if inst.enabled:
-            inst.mem(addresses, reads_per_element=4)
-            inst.branch(node & 0x3FF, keep_branches)
-            # Predictable cut-list loop control dominates dynamic branches.
-            inst.branch(0x500, [True] * len(keep_branches) * 2 + [False])
+            if aig.is_input(node):
+                cuts[node] = [Cut(leaves=(node,), table=trivial_table)]
+                continue
+            fan_a, fan_b = aig.fanins(node)
+            list_a = cuts[lit_node(fan_a)]
+            list_b = cuts[lit_node(fan_b)]
+            compl_a = lit_is_complemented(fan_a)
+            compl_b = lit_is_complemented(fan_b)
+            merged: List[Cut] = []
+            seen_leaves = set()
+            keep_branches = []
+            addresses = []
+            if inst.enabled:
+                # Node record plus both fanin records: fanins are recent
+                # nodes, so the stream has strong temporal locality
+                # (synthesis's low cache-miss signature).
+                # Node records are allocated in a recycled hot window (the
+                # allocator keeps recently-touched nodes resident), so the
+                # stream mostly hits cache at any VM size.
+                addresses.extend(
+                    (
+                        (node & 0x7FF) * 8,
+                        (lit_node(fan_a) & 0x7FF) * 8,
+                        (lit_node(fan_b) & 0x7FF) * 8,
+                    )
+                )
+            for ca in list_a:
+                for cb in list_b:
+                    stats.merges += 1
+                    union = tuple(sorted(set(ca.leaves) | set(cb.leaves)))
+                    if len(union) > k:
+                        stats.pruned += 1
+                        keep_branches.append(False)
+                        continue
+                    if union in seen_leaves:
+                        stats.pruned += 1
+                        keep_branches.append(False)
+                        continue
+                    nvars = len(union)
+                    ta = _lift(ca, union)
+                    tb = _lift(cb, union)
+                    if compl_a:
+                        ta = ~ta & full_mask(nvars)
+                    if compl_b:
+                        tb = ~tb & full_mask(nvars)
+                    merged.append(Cut(leaves=union, table=ta & tb))
+                    seen_leaves.add(union)
+                    keep_branches.append(True)
+                    stats.kept += 1
+            # Dominance filter: drop any cut whose leaves are a strict
+            # superset of another kept cut's leaves.
+            merged.sort(key=lambda c: (c.size, c.leaves))
+            filtered: List[Cut] = []
+            for cut in merged:
+                leaf_set = set(cut.leaves)
+                dominated = any(set(f.leaves) < leaf_set for f in filtered)
+                keep_branches.append(not dominated)
+                if dominated:
+                    stats.pruned += 1
+                    continue
+                filtered.append(cut)
+            filtered = filtered[:cap]
+            filtered.append(Cut(leaves=(node,), table=trivial_table))
+            cuts[node] = filtered
+            if inst.enabled:
+                inst.mem(addresses, reads_per_element=4)
+                inst.branch(node & 0x3FF, keep_branches)
+                # Predictable cut-list loop control dominates dynamic
+                # branches.
+                inst.branch(0x500, [True] * len(keep_branches) * 2 + [False])
+        enum_span.set_tags(
+            merges=stats.merges,
+            kept=stats.kept,
+            pruned=stats.pruned,
+            **inst.span_delta(counters_before),
+        )
     return cuts, stats

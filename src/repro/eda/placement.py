@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..netlist.netlist import PORT, Netlist
+from ..obs import get_tracer
 from ..parallel import WorkProfile
 from ..perf.instrument import NullInstrument
 from .calibration import Calibration, DEFAULT_CALIBRATION
@@ -202,57 +203,76 @@ class PlacementEngine:
         mem_stride = max(1, len(src) // 2048)
         edge_sample = np.arange(0, len(src), mem_stride, dtype=np.int64)
         scan_len = max(8, int(1.45 * len(edge_sample)))
-        for it in range(iterations):
-            dx = x[src] - x[dst]
-            dy = y[src] - y[dst]
-            gx = np.zeros(total_pts)
-            gy = np.zeros(total_pts)
-            np.add.at(gx, src, 2.0 * weight * dx)
-            np.add.at(gx, dst, -2.0 * weight * dx)
-            np.add.at(gy, src, 2.0 * weight * dy)
-            np.add.at(gy, dst, -2.0 * weight * dy)
+        tracer = get_tracer()
+        counters_before = inst.snapshot()
+        # Profiler hook: one span over the whole descent (not per step —
+        # the step count scales with design size and would bloat traces);
+        # the fused counter delta attributes the FP/gather work to it.
+        with tracer.span(
+            "placement.gradient", iterations=iterations, edges=len(src)
+        ) as g_span:
+            for it in range(iterations):
+                dx = x[src] - x[dst]
+                dy = y[src] - y[dst]
+                gx = np.zeros(total_pts)
+                gy = np.zeros(total_pts)
+                np.add.at(gx, src, 2.0 * weight * dx)
+                np.add.at(gx, dst, -2.0 * weight * dx)
+                np.add.at(gy, src, 2.0 * weight * dy)
+                np.add.at(gy, dst, -2.0 * weight * dy)
 
-            # Density: per-bin utilization and a push-out-of-overflow force.
-            bx = np.clip((x[:n] / bin_size).astype(np.int64), 0, bins - 1)
-            by = np.clip((y[:n] / bin_size).astype(np.int64), 0, bins - 1)
-            util = np.zeros((bins, bins))
-            np.add.at(util, (bx, by), areas)
-            overflow = np.maximum(0.0, util - target_bin_area)
-            # Finite-difference force field from the overflow potential.
-            fx_field = np.zeros_like(overflow)
-            fy_field = np.zeros_like(overflow)
-            fx_field[1:-1, :] = overflow[:-2, :] - overflow[2:, :]
-            fy_field[:, 1:-1] = overflow[:, :-2] - overflow[:, 2:]
-            density_weight = 2.0 * ((it + 1) / iterations) / max(target_bin_area, 1e-9)
-            gx[:n] -= density_weight * fx_field[bx, by] * areas
-            gy[:n] -= density_weight * fy_field[bx, by] * areas
+                # Density: per-bin utilization and a push-out-of-overflow
+                # force.
+                bx = np.clip((x[:n] / bin_size).astype(np.int64), 0, bins - 1)
+                by = np.clip((y[:n] / bin_size).astype(np.int64), 0, bins - 1)
+                util = np.zeros((bins, bins))
+                np.add.at(util, (bx, by), areas)
+                overflow = np.maximum(0.0, util - target_bin_area)
+                # Finite-difference force field from the overflow potential.
+                fx_field = np.zeros_like(overflow)
+                fy_field = np.zeros_like(overflow)
+                fx_field[1:-1, :] = overflow[:-2, :] - overflow[2:, :]
+                fy_field[:, 1:-1] = overflow[:, :-2] - overflow[:, 2:]
+                density_weight = (
+                    2.0 * ((it + 1) / iterations) / max(target_bin_area, 1e-9)
+                )
+                gx[:n] -= density_weight * fx_field[bx, by] * areas
+                gy[:n] -= density_weight * fy_field[bx, by] * areas
 
-            # Descend with per-cell gradient clipping to stabilize early steps.
-            norm = np.sqrt(gx[:n] ** 2 + gy[:n] ** 2) + 1e-12
-            scale = np.minimum(1.0, (3.0 * step) / norm)
-            x[:n] = np.clip(x[:n] - step * gx[:n] * scale, 0.0, die)
-            y[:n] = np.clip(y[:n] - step * gy[:n] * scale, 0.0, die)
+                # Descend with per-cell gradient clipping to stabilize early
+                # steps.
+                norm = np.sqrt(gx[:n] ** 2 + gy[:n] ** 2) + 1e-12
+                scale = np.minimum(1.0, (3.0 * step) / norm)
+                x[:n] = np.clip(x[:n] - step * gx[:n] * scale, 0.0, die)
+                y[:n] = np.clip(y[:n] - step * gy[:n] * scale, 0.0, die)
 
-            gradient_work += len(src) + n
-            if inst.enabled:
-                inst.flops(avx=fp_per_iter_avx)
-                inst.instructions(2 * len(src))
-                # Vectorized loop control: long runs of taken branches.
-                inst.branch(0xA10, [True] * 63 + [False], weight=max(1, len(src) // 64))
-                if it % 4 == 0:
-                    # Gather/scatter addresses over the four coordinate and
-                    # gradient arrays (net order — the pattern behind
-                    # placement's high cache-miss signature), plus a
-                    # streaming scan of per-iteration pin data.
-                    e = rng.permutation(edge_sample)
-                    ax = (0 << 26) + dst[e] * 6
-                    ay = (1 << 26) + dst[e] * 6
-                    agx = (2 << 26) + src[e] * 6
-                    agy = (3 << 26) + src[e] * 6
-                    resident = np.stack([ax, ay, agx, agy], axis=1).ravel()
-                    scan = ((64 + (it & 31)) << 26) + np.arange(scan_len) * 64
-                    stream = np.concatenate([resident, scan])
-                    inst.mem(stream.tolist(), reads_per_element=4 * mem_stride)
+                gradient_work += len(src) + n
+                if inst.enabled:
+                    inst.flops(avx=fp_per_iter_avx)
+                    inst.instructions(2 * len(src))
+                    # Vectorized loop control: long runs of taken branches.
+                    inst.branch(
+                        0xA10,
+                        [True] * 63 + [False],
+                        weight=max(1, len(src) // 64),
+                    )
+                    if it % 4 == 0:
+                        # Gather/scatter addresses over the four coordinate
+                        # and gradient arrays (net order — the pattern behind
+                        # placement's high cache-miss signature), plus a
+                        # streaming scan of per-iteration pin data.
+                        e = rng.permutation(edge_sample)
+                        ax = (0 << 26) + dst[e] * 6
+                        ay = (1 << 26) + dst[e] * 6
+                        agx = (2 << 26) + src[e] * 6
+                        agy = (3 << 26) + src[e] * 6
+                        resident = np.stack([ax, ay, agx, agy], axis=1).ravel()
+                        scan = ((64 + (it & 31)) << 26) + np.arange(scan_len) * 64
+                        stream = np.concatenate([resident, scan])
+                        inst.mem(stream.tolist(), reads_per_element=4 * mem_stride)
+            g_span.set_tags(
+                gradient_work=gradient_work, **inst.span_delta(counters_before)
+            )
 
         # Legalization: tetris-style row packing by x-order.
         rows = max(1, int(die / 1.0))
@@ -262,36 +282,40 @@ class PlacementEngine:
         legal_branches: List[bool] = []
         positions: Dict[str, Tuple[float, float]] = {}
         widths = areas / 1.0  # unit row height -> width = area
-        for cell_idx in order:
-            w_cell = widths[cell_idx]
-            desired_row = int(np.clip(y[cell_idx] / (die / rows), 0, rows - 1))
-            best_row, best_cost = desired_row, float("inf")
-            for r in range(max(0, desired_row - 8), min(rows, desired_row + 9)):
-                # Penalize displacement plus any spill past the die edge.
-                spill = max(0.0, row_fill[r] + w_cell - die)
-                cost = (
-                    abs(row_fill[r] - x[cell_idx])
-                    + 1.5 * abs(r - desired_row)
-                    + 50.0 * spill
+        counters_before = inst.snapshot()
+        with tracer.span("placement.legalize", instances=n) as l_span:
+            for cell_idx in order:
+                w_cell = widths[cell_idx]
+                desired_row = int(np.clip(y[cell_idx] / (die / rows), 0, rows - 1))
+                best_row, best_cost = desired_row, float("inf")
+                for r in range(max(0, desired_row - 8), min(rows, desired_row + 9)):
+                    # Penalize displacement plus any spill past the die edge.
+                    spill = max(0.0, row_fill[r] + w_cell - die)
+                    cost = (
+                        abs(row_fill[r] - x[cell_idx])
+                        + 1.5 * abs(r - desired_row)
+                        + 50.0 * spill
+                    )
+                    took = cost < best_cost
+                    legal_branches.append(took)
+                    if took:
+                        best_row, best_cost = r, cost
+                # Keep the analytical x unless the row is already filled past
+                # it, clamped so cells stay on the die whenever the row has
+                # space.
+                left_edge = max(
+                    row_fill[best_row],
+                    min(x[cell_idx] - w_cell / 2.0, die - w_cell),
                 )
-                took = cost < best_cost
-                legal_branches.append(took)
-                if took:
-                    best_row, best_cost = r, cost
-            # Keep the analytical x unless the row is already filled past it,
-            # clamped so cells stay on the die whenever the row has space.
-            left_edge = max(
-                row_fill[best_row],
-                min(x[cell_idx] - w_cell / 2.0, die - w_cell),
-            )
-            positions[names[cell_idx]] = (
-                float(left_edge + w_cell / 2.0),
-                float(row_y[best_row]),
-            )
-            row_fill[best_row] = left_edge + w_cell
-        if inst.enabled:
-            inst.branch(0xA00, legal_branches)
-            inst.instructions(4 * n)
+                positions[names[cell_idx]] = (
+                    float(left_edge + w_cell / 2.0),
+                    float(row_y[best_row]),
+                )
+                row_fill[best_row] = left_edge + w_cell
+            if inst.enabled:
+                inst.branch(0xA00, legal_branches)
+                inst.instructions(4 * n)
+            l_span.set_tags(**inst.span_delta(counters_before))
 
         placement = Placement(
             netlist=netlist,

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.netlist import PORT, Netlist
+from ..obs import get_tracer
 from ..parallel import TaskGraph, TaskGraphWorkload
 from ..perf.instrument import NullInstrument
 from .calibration import Calibration, DEFAULT_CALIBRATION
@@ -366,85 +367,105 @@ class GlobalRouter:
         last_task: Dict[int, int] = {}
         iteration_barrier: Optional[int] = None
         prev_overflow = float("inf")
+        tracer = get_tracer()
         for iteration in range(1, self.max_iterations + 1):
             margin = self.bbox_margin + min(2, iteration - 1)
             pres_fac = overflow_penalty * iteration
             waves = build_waves(to_route, margin)
             commit_work = 0.0
-            for wave in waves:
-                wave_streams: List[List[int]] = []
-                wave_updates: List[Tuple[frozenset, int]] = []
-                for si, seg in enumerate(wave):
-                    collect = inst.enabled and (si % event_stride == 0)
-                    expansions, branches, addrs = route_segment(seg, margin, collect)
-                    total_expansions += expansions
-                    # Parallelism model straight from the paper: "nets in
-                    # independent grid cells can be routed in parallel with
-                    # no conflict".  The die is tiled into routing regions;
-                    # segments in the same region serialize on its worker
-                    # queue, different regions proceed concurrently.  (Our
-                    # scaled-down dies are ~30x smaller per side than the
-                    # paper's 200k-instance design, so literal path-overlap
-                    # conflicts would over-serialize; see DESIGN.md.)
-                    mid_x = (seg.source[0] + seg.target[0]) // 2
-                    mid_y = (seg.source[1] + seg.target[1]) // 2
-                    region = (mid_y // region_size) * region_cols + (
-                        mid_x // region_size
-                    )
-                    deps = set()
-                    if region in last_task:
-                        deps.add(last_task[region])
-                    if iteration_barrier is not None:
-                        deps.add(iteration_barrier)
-                    work = (
-                        expansions + 2 * len(seg.path)
-                    ) * cal.route_sec_per_expansion
-                    pieces = max(1, min(8, int(work / subtask_quantum)))
-                    if pieces == 1:
-                        owner = graph.add_task(
-                            work=work, deps=sorted(deps), name=f"net:{seg.net}"
+            counters_before = inst.snapshot()
+            expansions_before = total_expansions
+            # Profiler hook: one cheap span per negotiation iteration
+            # covering the wavefront expansion (at most max_iterations
+            # spans per route).  The counter delta fused into the tags is
+            # what lets the profile differ blame routing regressions on a
+            # specific iteration's search rather than the stage total.
+            with tracer.span("routing.iteration", iteration=iteration) as it_span:
+                for wave in waves:
+                    wave_streams: List[List[int]] = []
+                    wave_updates: List[Tuple[frozenset, int]] = []
+                    for si, seg in enumerate(wave):
+                        collect = inst.enabled and (si % event_stride == 0)
+                        expansions, branches, addrs = route_segment(
+                            seg, margin, collect
                         )
-                    else:
-                        # Parallel wavefront expansion: split the search into
-                        # concurrent pieces joined by a zero-cost merge.
-                        piece_ids = [
-                            graph.add_task(
-                                work=work / pieces,
-                                deps=sorted(deps),
-                                name=f"net:{seg.net}",
+                        total_expansions += expansions
+                        # Parallelism model straight from the paper: "nets in
+                        # independent grid cells can be routed in parallel with
+                        # no conflict".  The die is tiled into routing regions;
+                        # segments in the same region serialize on its worker
+                        # queue, different regions proceed concurrently.  (Our
+                        # scaled-down dies are ~30x smaller per side than the
+                        # paper's 200k-instance design, so literal path-overlap
+                        # conflicts would over-serialize; see DESIGN.md.)
+                        mid_x = (seg.source[0] + seg.target[0]) // 2
+                        mid_y = (seg.source[1] + seg.target[1]) // 2
+                        region = (mid_y // region_size) * region_cols + (
+                            mid_x // region_size
+                        )
+                        deps = set()
+                        if region in last_task:
+                            deps.add(last_task[region])
+                        if iteration_barrier is not None:
+                            deps.add(iteration_barrier)
+                        work = (
+                            expansions + 2 * len(seg.path)
+                        ) * cal.route_sec_per_expansion
+                        pieces = max(1, min(8, int(work / subtask_quantum)))
+                        if pieces == 1:
+                            owner = graph.add_task(
+                                work=work, deps=sorted(deps), name=f"net:{seg.net}"
                             )
-                            for _ in range(pieces)
-                        ]
-                        owner = graph.add_task(
-                            work=0.0, deps=piece_ids, name=f"merge:{seg.net}"
-                        )
-                    wave_updates.append((frozenset([region]), owner))
-                    if seg.path:
-                        commit(seg, +1)
-                    if collect:
-                        inst.branch(
-                            0xB00 + (zlib.crc32(seg.net.encode()) & 0xFF),
-                            branches,
-                            weight=event_stride,
-                        )
-                        wave_streams.append(addrs)
-                # Cell ownership updates happen at wave granularity, so
-                # same-wave (disjoint) segments never order each other.
-                for cells, owner in wave_updates:
-                    for c in cells:
-                        last_task[c] = owner
-                commit_work += len(wave) * cal.route_sec_per_net_order
-                if inst.enabled and wave_streams:
-                    stream = _interleave(wave_streams, max(1, inst.concurrency))
-                    if inst.concurrency > 1:
-                        # Coherence traffic: concurrent workers invalidate
-                        # each other's cached usage entries; grows with the
-                        # worker count.
-                        extra = (len(stream) // 12) * (inst.concurrency - 1) // 7
-                        pool = len(h_usage) + len(v_usage)
-                        coh = rng.sample(range(pool), min(extra, pool))
-                        stream.extend((3 << 26) + i * 64 for i in coh)
-                    inst.mem(stream, reads_per_element=event_stride)
+                        else:
+                            # Parallel wavefront expansion: split the search
+                            # into concurrent pieces joined by a zero-cost
+                            # merge.
+                            piece_ids = [
+                                graph.add_task(
+                                    work=work / pieces,
+                                    deps=sorted(deps),
+                                    name=f"net:{seg.net}",
+                                )
+                                for _ in range(pieces)
+                            ]
+                            owner = graph.add_task(
+                                work=0.0, deps=piece_ids, name=f"merge:{seg.net}"
+                            )
+                        wave_updates.append((frozenset([region]), owner))
+                        if seg.path:
+                            commit(seg, +1)
+                        if collect:
+                            inst.branch(
+                                0xB00 + (zlib.crc32(seg.net.encode()) & 0xFF),
+                                branches,
+                                weight=event_stride,
+                            )
+                            wave_streams.append(addrs)
+                    # Cell ownership updates happen at wave granularity, so
+                    # same-wave (disjoint) segments never order each other.
+                    for cells, owner in wave_updates:
+                        for c in cells:
+                            last_task[c] = owner
+                    commit_work += len(wave) * cal.route_sec_per_net_order
+                    if inst.enabled and wave_streams:
+                        stream = _interleave(wave_streams, max(1, inst.concurrency))
+                        if inst.concurrency > 1:
+                            # Coherence traffic: concurrent workers invalidate
+                            # each other's cached usage entries; grows with the
+                            # worker count.
+                            extra = (
+                                (len(stream) // 12) * (inst.concurrency - 1) // 7
+                            )
+                            pool = len(h_usage) + len(v_usage)
+                            coh = rng.sample(range(pool), min(extra, pool))
+                            stream.extend((3 << 26) + i * 64 for i in coh)
+                        inst.mem(stream, reads_per_element=event_stride)
+                it_span.set_tags(
+                    waves=len(waves),
+                    segments=len(to_route),
+                    expansions=total_expansions - expansions_before,
+                    **inst.span_delta(counters_before),
+                )
             # One global sync per negotiation iteration (PathFinder's
             # overflow scan), plus the accumulated commit bookkeeping.
             iteration_barrier = graph.add_task(
@@ -461,6 +482,7 @@ class GlobalRouter:
                 np.sum(np.maximum(0, h_usage - capacity))
                 + np.sum(np.maximum(0, v_usage - capacity))
             )
+            it_span.set_tag("overflow", overflow)
             if overflow == 0 or iteration == self.max_iterations:
                 break
             if overflow > 0.9 * prev_overflow:

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..netlist.netlist import PORT, Netlist
+from ..obs import get_tracer
 from ..parallel import WorkProfile
 from ..perf.instrument import NullInstrument
 from .calibration import Calibration, DEFAULT_CALIBRATION
@@ -129,46 +130,57 @@ class STAEngine:
         arcs = 0
         max_branches: List[bool] = []
         addresses: List[int] = []
-        for level in sorted(by_level):
-            batch = by_level[level]
-            batch_delays = 0
-            for inst_name in batch:
-                cell_inst = netlist.instances[inst_name]
-                cell = cell_inst.cell
-                load = net_load[cell_inst.output_net]
-                cell_delay = cell.delay(load)
-                best = 0.0
-                earliest = math.inf
-                for in_net in cell_inst.input_nets:
-                    driver = netlist.driver_instance(in_net)
-                    key = in_net if driver is None else driver
-                    src_arrival = arrival[key]
-                    src_min = min_arrival[key]
-                    earliest = min(
-                        earliest, src_min + net_wire_delay[in_net] + cell_delay
+        tracer = get_tracer()
+        counters_before = inst.snapshot()
+        # Profiler hook: one span over the whole forward level sweep (the
+        # AVX-heavy kernel); per-level spans would scale with logic depth.
+        with tracer.span("sta.levels", levels=len(by_level)) as sweep_span:
+            for level in sorted(by_level):
+                batch = by_level[level]
+                batch_delays = 0
+                for inst_name in batch:
+                    cell_inst = netlist.instances[inst_name]
+                    cell = cell_inst.cell
+                    load = net_load[cell_inst.output_net]
+                    cell_delay = cell.delay(load)
+                    best = 0.0
+                    earliest = math.inf
+                    for in_net in cell_inst.input_nets:
+                        driver = netlist.driver_instance(in_net)
+                        key = in_net if driver is None else driver
+                        src_arrival = arrival[key]
+                        src_min = min_arrival[key]
+                        earliest = min(
+                            earliest, src_min + net_wire_delay[in_net] + cell_delay
+                        )
+                        # Arrival reads reach back arbitrarily many levels:
+                        # they miss L1 but sit in the LLC-resident arrival
+                        # array.
+                        addresses.append(
+                            (2 << 24) + (node_index.get(key, 0) & 0x7FF) * 8
+                        )
+                        t = src_arrival + net_wire_delay[in_net] + cell_delay
+                        arcs += 1
+                        batch_delays += 1
+                        is_new_max = t > best
+                        max_branches.append(is_new_max)
+                        if is_new_max:
+                            best = t
+                    arrival[inst_name] = best
+                    min_arrival[inst_name] = (
+                        earliest if math.isfinite(earliest) else best
                     )
-                    # Arrival reads reach back arbitrarily many levels: they
-                    # miss L1 but sit in the LLC-resident arrival array.
-                    addresses.append((2 << 24) + (node_index.get(key, 0) & 0x7FF) * 8)
-                    t = src_arrival + net_wire_delay[in_net] + cell_delay
-                    arcs += 1
-                    batch_delays += 1
-                    is_new_max = t > best
-                    max_branches.append(is_new_max)
-                    if is_new_max:
-                        best = t
-                arrival[inst_name] = best
-                min_arrival[inst_name] = earliest if math.isfinite(earliest) else best
-                node_index[inst_name] = len(node_index)
-                addresses.append((len(arrival) & 0x3FF) * 8)
-                # Library NLDM table lookup: a small, hot region.
-                addresses.append(
-                    (1 << 23) + (zlib.crc32(cell.name.encode()) & 0x1F) * 64
-                )
-            if inst.enabled and batch:
-                # Per-level vectorized delay evaluation (interpolating the
-                # library tables) is the AVX-heavy kernel.
-                inst.flops(avx=8 * batch_delays, scalar=2 * len(batch))
+                    node_index[inst_name] = len(node_index)
+                    addresses.append((len(arrival) & 0x3FF) * 8)
+                    # Library NLDM table lookup: a small, hot region.
+                    addresses.append(
+                        (1 << 23) + (zlib.crc32(cell.name.encode()) & 0x1F) * 64
+                    )
+                if inst.enabled and batch:
+                    # Per-level vectorized delay evaluation (interpolating the
+                    # library tables) is the AVX-heavy kernel.
+                    inst.flops(avx=8 * batch_delays, scalar=2 * len(batch))
+            sweep_span.set_tags(arcs=arcs, **inst.span_delta(counters_before))
 
         max_arrival = 0.0
         po_arrival: Dict[str, float] = {}
@@ -190,25 +202,31 @@ class STAEngine:
 
         # Backward propagation of required times.
         required: Dict[str, float] = {}
-        for port in netlist.output_ports:
-            net_name = netlist.output_port_nets[port]
-            driver = netlist.driver_instance(net_name)
-            key = net_name if driver is None else driver
-            req = clock_period - net_wire_delay[net_name]
-            required[key] = min(required.get(key, math.inf), req)
-        for inst_name in reversed(order):
-            cell_inst = netlist.instances[inst_name]
-            cell = cell_inst.cell
-            load = net_load[cell_inst.output_net]
-            cell_delay = cell.delay(load)
-            own_req = required.get(inst_name, math.inf)
-            for in_net in cell_inst.input_nets:
-                driver = netlist.driver_instance(in_net)
-                key = in_net if driver is None else driver
-                req = own_req - net_wire_delay[in_net] - cell_delay
-                arcs += 1
+        forward_arcs = arcs
+        counters_before = inst.snapshot()
+        with tracer.span("sta.required") as req_span:
+            for port in netlist.output_ports:
+                net_name = netlist.output_port_nets[port]
+                driver = netlist.driver_instance(net_name)
+                key = net_name if driver is None else driver
+                req = clock_period - net_wire_delay[net_name]
                 required[key] = min(required.get(key, math.inf), req)
-            addresses.append((1 << 24) + (len(required) & 0x3FF) * 8)
+            for inst_name in reversed(order):
+                cell_inst = netlist.instances[inst_name]
+                cell = cell_inst.cell
+                load = net_load[cell_inst.output_net]
+                cell_delay = cell.delay(load)
+                own_req = required.get(inst_name, math.inf)
+                for in_net in cell_inst.input_nets:
+                    driver = netlist.driver_instance(in_net)
+                    key = in_net if driver is None else driver
+                    req = own_req - net_wire_delay[in_net] - cell_delay
+                    arcs += 1
+                    required[key] = min(required.get(key, math.inf), req)
+                addresses.append((1 << 24) + (len(required) & 0x3FF) * 8)
+            req_span.set_tags(
+                arcs=arcs - forward_arcs, **inst.span_delta(counters_before)
+            )
 
         slack: Dict[str, float] = {}
         for key, arr in arrival.items():

@@ -85,14 +85,19 @@ def train(
                         target = (
                             sample.log_runtimes - result.target_offset
                         ) / result.target_std
-                        pred = model.forward(sample.prepared)
+                        # Profiler hooks: the GCN message-passing forward
+                        # pass and the gradient/optimizer step, separately
+                        # attributable in profiles.
+                        with tracer.span("gnn.forward", nodes=sample.prepared.num_nodes):
+                            pred = model.forward(sample.prepared)
                         err = pred - target
                         loss = float(np.mean(err ** 2))
                         epoch_loss += loss
-                        # d(MSE)/d(pred) = 2 * err / n_outputs
-                        model.zero_grad()
-                        model.backward(2.0 * err / err.size)
-                        optimizer.step()
+                        with tracer.span("gnn.backward"):
+                            # d(MSE)/d(pred) = 2 * err / n_outputs
+                            model.zero_grad()
+                            model.backward(2.0 * err / err.size)
+                            optimizer.step()
                     mean_loss = epoch_loss / len(samples)
                     result.losses.append(mean_loss)
                     span.set_tag("loss", mean_loss)

@@ -14,6 +14,8 @@ the same discipline to our own hot paths:
   matrix and ``BENCH_<rev>.json`` regression comparison,
 * :mod:`repro.obs.log`     — structured span-correlated log records, the
   bounded ring-buffer flight recorder, and replayable crash dumps,
+* :mod:`repro.obs.profile` — the deterministic self-time profiler over
+  the span tree, folded-stack/flame exports, and the profile differ,
 * :mod:`repro.obs.store`   — the append-only multi-run telemetry store
   (JSONL under ``benchmarks/runs/``) with series/percentile queries,
 * :mod:`repro.obs.report`  — the ``repro report`` terminal/HTML
@@ -57,6 +59,20 @@ from .metrics import (
     set_metrics,
     snapshot_from_dict,
 )
+from .profile import (
+    PROFILE_SCHEMA,
+    FrameStat,
+    Profile,
+    ProfileDiff,
+    SamplingProfiler,
+    build_profile,
+    diff_profiles,
+    load_profile,
+    parse_folded,
+    render_diff,
+    render_flame_html,
+    render_profile,
+)
 from .spans import (
     NULL_SPAN,
     Span,
@@ -73,8 +89,10 @@ __all__ = [
     "CRASH_SCHEMA",
     "MAX_BIN",
     "MIN_BIN",
+    "PROFILE_SCHEMA",
     "ZERO_BIN",
     "Counter",
+    "FrameStat",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
@@ -83,12 +101,22 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_SPAN",
+    "Profile",
+    "ProfileDiff",
+    "SamplingProfiler",
     "Span",
     "SpanEvent",
     "TickClock",
     "Tracer",
     "bin_bounds",
     "build_crash_report",
+    "build_profile",
+    "diff_profiles",
+    "load_profile",
+    "parse_folded",
+    "render_diff",
+    "render_flame_html",
+    "render_profile",
     "crash_scope",
     "default_crash_dir",
     "get_logger",

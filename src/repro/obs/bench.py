@@ -9,12 +9,17 @@ document (schema :data:`BENCH_SCHEMA`):
 * ``structure`` — the timing-free span tree (byte-stable for one seed),
 * ``metrics``   — the metric snapshot (byte-stable for one seed),
 * ``timings``   — wall-clock seconds per span path (machine-dependent),
-* ``workloads`` — headline wall-clock per workload.
+* ``workloads`` — headline wall-clock per workload,
+* ``profile``   — per-span-path self-time summary (``calls`` byte-stable
+  for one seed; ``total``/``self`` seconds machine-dependent).
 
 Determinism contract: two runs with the same seed produce identical
-``structure`` and ``metrics``; only ``timings``/``workloads`` vary.
+``structure``, ``metrics``, and profile call counts; only the wall-clock
+quantities (``timings``/``workloads``/profile seconds) vary.
 :func:`compare_bench` diffs the timings against a baseline file with a
-percentage tolerance — that comparison is what CI gates on.
+percentage tolerance — that comparison is what CI gates on — and, when
+both documents carry profiles, names the span path whose *self time*
+regressed the most, so the gate blames a frame instead of a total.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from . import scoped
 from .export import structural_tree
 from .log import Logger
 from .metrics import MetricsRegistry
+from .profile import build_profile
 from .spans import Span, Tracer
 
 __all__ = [
@@ -182,6 +188,7 @@ def run_bench(
         workloads["gnn"] = sp.duration
 
     snapshot = registry.snapshot()
+    profile = build_profile(tracer.spans)
     return {
         "schema": BENCH_SCHEMA,
         "rev": rev if rev is not None else git_rev(),
@@ -193,6 +200,14 @@ def run_bench(
         "timings": _span_paths(tracer.spans),
         "structure": structural_tree(tracer.spans),
         "metrics": snapshot.to_dict(),
+        "profile": {
+            path: {
+                "calls": stat.calls,
+                "total": stat.total,
+                "self": stat.self_time,
+            }
+            for path, stat in sorted(profile.frames.items())
+        },
     }
 
 
@@ -238,7 +253,40 @@ def validate_bench(doc: dict) -> List[str]:
         for section in ("counters", "gauges", "histograms"):
             if section not in doc["metrics"]:
                 out.append(f"metrics.{section}: missing")
+    profile = doc.get("profile")
+    if not isinstance(profile, dict):
+        out.append("profile: missing or not a dict")
+    else:
+        for path, frame in profile.items():
+            if not isinstance(frame, dict) or not (
+                {"calls", "total", "self"} <= set(frame)
+            ):
+                out.append(f"profile.{path}: missing calls/total/self")
+                break
     return out
+
+
+def _top_profile_regression(
+    current: dict, baseline: dict
+) -> Optional[Tuple[str, float]]:
+    """The span path whose profile *self time* grew the most, if any.
+
+    Returns ``(path, delta_seconds)`` for the largest positive self-time
+    delta above :data:`ABS_GUARD_SECONDS`, or ``None`` when either
+    document lacks a profile block or nothing cleared the guard.
+    """
+    base_prof = baseline.get("profile")
+    cur_prof = current.get("profile")
+    if not isinstance(base_prof, dict) or not isinstance(cur_prof, dict):
+        return None
+    top: Optional[Tuple[str, float]] = None
+    for path in sorted(set(base_prof) & set(cur_prof)):
+        delta = float(cur_prof[path].get("self", 0.0)) - float(
+            base_prof[path].get("self", 0.0)
+        )
+        if delta > ABS_GUARD_SECONDS and (top is None or delta > top[1]):
+            top = (path, delta)
+    return top
 
 
 def compare_bench(
@@ -249,6 +297,9 @@ def compare_bench(
     A timing path regresses when it is more than ``tolerance_pct`` slower
     than the baseline *and* the absolute delta exceeds
     :data:`ABS_GUARD_SECONDS` (sub-centisecond spans are all noise).
+    When anything regresses and both documents carry a ``profile`` block,
+    a final attribution line names the span path whose self time grew
+    the most — the frame to blame, not just the inclusive total.
     Structure drift (span paths appearing/disappearing) is reported as a
     note, not a regression — it usually means the workload changed shape
     and the baseline needs regenerating.
@@ -274,5 +325,11 @@ def compare_bench(
             regressions.append(
                 f"{path}: {cur:.4f}s vs baseline {base:.4f}s "
                 f"(+{100.0 * (cur - base) / base:.1f}% > {tolerance_pct:.0f}%)"
+            )
+    if regressions:
+        top = _top_profile_regression(current, baseline)
+        if top is not None:
+            regressions.append(
+                f"top regressed span: {top[0]} (+{top[1]:.4f}s self time)"
             )
     return regressions, notes

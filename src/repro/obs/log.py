@@ -230,14 +230,19 @@ def build_crash_report(
     """Assemble a ``repro-crash/1`` document from the obs globals.
 
     ``records`` is the flight recorder's tail, ``open_spans`` the span
-    stack captured when ``exc`` started unwinding (outermost first), and
-    ``metrics`` a snapshot of the registry at dump time.  Exception
+    stack captured when ``exc`` started unwinding (outermost first),
+    ``metrics`` a snapshot of the registry at dump time, and ``profile``
+    the top-10 self-time frames over the spans that had finished when
+    the run died — *where time was going* when it crashed.  Exception
     tracebacks are deliberately excluded — type and message only — so
     dumps from identical seeded runs are byte-identical.
     """
+    from .profile import build_profile
+
     logger = logger if logger is not None else get_logger()
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
+    profile = build_profile(tracer.spans, deterministic=tracer.deterministic)
     doc = {
         "schema": CRASH_SCHEMA,
         "component": component,
@@ -248,6 +253,10 @@ def build_crash_report(
             _span_summary(s) for s in tracer.crash_stack(exc)
         ],
         "metrics": metrics.snapshot().to_dict(),
+        "profile": [
+            {"path": f.path, "calls": f.calls, "self": f.self_time}
+            for f in profile.top(10)
+        ],
     }
     if exc is not None:
         doc["exception"] = {

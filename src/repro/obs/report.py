@@ -45,6 +45,7 @@ __all__ = [
     "sparkline",
     "mad_outlier",
     "deterministic_drift",
+    "latest_profile_top",
     "build_report",
     "render_text",
     "render_html",
@@ -178,6 +179,21 @@ def mad_outlier(
             f"{median:.6g} (window {len(baseline)})"
         )
     return None
+
+
+def latest_profile_top(runs: Sequence[RunRecord]) -> List[dict]:
+    """The most recent run's top-frames profile summary, if stored.
+
+    Bench runs carry ``labels["profile_top"]`` (see
+    :func:`repro.obs.store.bench_to_run`); the newest run that has one
+    wins, so the dashboard always shows where the *latest* run's time
+    went.
+    """
+    for record in reversed(list(runs)):
+        top = record.labels.get("profile_top")
+        if isinstance(top, list) and top:
+            return [f for f in top if isinstance(f, dict)]
+    return []
 
 
 def _group_key(record: RunRecord) -> Tuple:
@@ -316,6 +332,15 @@ def render_text(report: RunReport, store_path: str = "") -> str:
                 f"{k}={v:.6g}" for k, v in sorted(hist.percentiles.items())
             )
             lines.append(f"  {hist.name:<42} n={hist.count:<6} {ps}")
+    profile_top = latest_profile_top(report.runs)
+    if profile_top:
+        lines.append("profile (latest run, self time per frame)")
+        for frame in profile_top:
+            lines.append(
+                f"  {float(frame.get('self', 0.0)) * 1e3:>10.3f}ms "
+                f"{int(frame.get('calls', 0)):>6} calls  "
+                f"{frame.get('path', '')}"
+            )
     if report.drift:
         lines.append(
             f"DETERMINISTIC DRIFT: {len(report.drift)} metric group(s) "
@@ -410,6 +435,11 @@ _HTML_STYLE = """
 .viz-root .verdict { margin: 16px 0; font-weight: 600; }
 .viz-root .verdict.bad { color: var(--status-critical); }
 .viz-root .spark { vertical-align: middle; }
+.viz-root .selfbar {
+  display: inline-block; height: 10px; border-radius: 2px;
+  background: var(--series-1); vertical-align: middle;
+}
+.viz-root td.frame { font-family: ui-monospace, monospace; font-size: 12px; }
 """
 
 
@@ -516,6 +546,25 @@ def render_html(report: RunReport, store_path: str = "") -> str:
                     for key in ("p50", "p90", "p99")
                 )
                 + "</tr>"
+            )
+        parts.append("</table>")
+
+    profile_top = latest_profile_top(report.runs)
+    if profile_top:
+        parts.append("<h2>Profile (latest run)</h2><table>")
+        parts.append(
+            "<tr><th>frame</th><th>calls</th><th>self</th><th></th></tr>"
+        )
+        max_self = max(float(f.get("self", 0.0)) for f in profile_top) or 1.0
+        for frame in profile_top:
+            self_time = float(frame.get("self", 0.0))
+            width = max(2, int(160 * self_time / max_self))
+            parts.append(
+                f'<tr><td class="frame">{_escape(frame.get("path", ""))}</td>'
+                f'<td class="num">{int(frame.get("calls", 0))}</td>'
+                f'<td class="num">{self_time * 1e3:.3f}ms</td>'
+                f'<td><span class="selfbar" style="width:{width}px"></span>'
+                f"</td></tr>"
             )
         parts.append("</table>")
 

@@ -63,6 +63,11 @@ class Span:
     tags: Dict[str, object] = field(default_factory=dict)
     events: List[SpanEvent] = field(default_factory=list)
     end: Optional[float] = None
+    #: The owning tracer's clock, used to default event timestamps.
+    #: Excluded from repr/compare so traces stay value-comparable.
+    clock: Optional[Callable[[], float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def finished(self) -> bool:
@@ -81,7 +86,16 @@ class Span:
         self.tags.update(tags)
         return self
 
-    def add_event(self, name: str, time: float, **tags) -> SpanEvent:
+    def add_event(
+        self, name: str, time: Optional[float] = None, **tags
+    ) -> SpanEvent:
+        """Attach an instant; ``time`` defaults to the tracer clock's now.
+
+        Detached spans (built by hand, no tracer clock) fall back to the
+        span's own start so the event still lands inside the interval.
+        """
+        if time is None:
+            time = self.clock() if self.clock is not None else self.start
         event = SpanEvent(name=name, time=time, tags=tags)
         self.events.append(event)
         return event
@@ -105,7 +119,7 @@ class _NullSpan:
     def set_tags(self, **tags) -> "_NullSpan":
         return self
 
-    def add_event(self, name: str, time: float = 0.0, **tags) -> None:
+    def add_event(self, name: str, time: Optional[float] = None, **tags) -> None:
         return None
 
 
@@ -228,6 +242,7 @@ class Tracer:
                 start=self.clock(),
                 thread=threading.current_thread().name,
                 tags=dict(tags),
+                clock=self.clock,
             )
             self.spans.append(span)
         stack.append(span)

@@ -190,18 +190,39 @@ class RunStore:
 
 
 def bench_to_run(doc: dict, timestamp_utc: str) -> RunRecord:
-    """Convert a ``repro-bench/1`` document into a storable run record."""
+    """Convert a ``repro-bench/1`` document into a storable run record.
+
+    The bench profile block is summarized down to its ten hottest frames
+    by self time (``labels["profile_top"]``) so the dashboard can show
+    where the run's time went without the store growing with every span
+    path the workloads ever produce.
+    """
+    labels: Dict[str, object] = {
+        "design": doc.get("design"),
+        "epochs": doc.get("epochs"),
+        "workloads": doc.get("workloads", {}),
+    }
+    profile = doc.get("profile")
+    if isinstance(profile, dict) and profile:
+        ranked = sorted(
+            profile.items(),
+            key=lambda item: (-float(item[1].get("self", 0.0)), item[0]),
+        )
+        labels["profile_top"] = [
+            {
+                "path": path,
+                "calls": int(frame.get("calls", 0)),
+                "self": float(frame.get("self", 0.0)),
+            }
+            for path, frame in ranked[:10]
+        ]
     return RunRecord(
         kind="bench",
         rev=str(doc.get("rev", "dev")),
         seed=int(doc.get("seed", 0)),
         timestamp_utc=timestamp_utc,
         scale=float(doc.get("scale", 0.0)),
-        labels={
-            "design": doc.get("design"),
-            "epochs": doc.get("epochs"),
-            "workloads": doc.get("workloads", {}),
-        },
+        labels=labels,
         metrics=dict(doc.get("metrics", {})),
         timings=dict(doc.get("timings", {})),
     )

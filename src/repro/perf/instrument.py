@@ -18,6 +18,7 @@ only runtimes are needed (e.g. GCN dataset generation).
 
 from __future__ import annotations
 
+from dataclasses import fields
 from typing import Optional, Sequence
 
 from .branch import TwoBitPredictor
@@ -52,6 +53,34 @@ class NullInstrument:
     def counters(self) -> PerfCounters:
         """An empty counter set (nothing was recorded)."""
         return PerfCounters()
+
+    # ------------------------------------------------------------------
+    # Span fusion: snapshot counters around a region and tag the delta.
+    # Implemented once here so instrumented and null runs produce spans
+    # with *identical tag keys* (null deltas are all zero) — structural
+    # trace comparisons must not depend on whether counters were on.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> PerfCounters:
+        """A copy of the counters as they stand right now."""
+        current = self.counters
+        copy = PerfCounters()
+        for f in fields(PerfCounters):
+            setattr(copy, f.name, getattr(current, f.name))
+        return copy
+
+    def span_delta(self, before: PerfCounters) -> dict:
+        """Counter growth since ``before``, as span-taggable numbers.
+
+        Returns the four headline counters the profiler fuses into
+        frames: instructions, branches, memory accesses, and FP ops.
+        """
+        current = self.counters
+        return {
+            "instructions": current.instructions - before.instructions,
+            "branches": current.branches - before.branches,
+            "mem_accesses": current.mem_accesses - before.mem_accesses,
+            "flops": current.fp_ops - before.fp_ops,
+        }
 
 
 class Instrument(NullInstrument):

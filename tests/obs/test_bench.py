@@ -62,6 +62,30 @@ class TestRunBench:
         assert any("schema" in p for p in problems)
         assert any("timings" in p for p in problems)
 
+    def test_profile_block_covers_timing_paths(self, bench_doc):
+        profile = bench_doc["profile"]
+        assert set(profile) == set(bench_doc["timings"])
+        for frame in profile.values():
+            assert frame["calls"] >= 1
+            assert frame["total"] >= frame["self"] >= 0
+        # The engine-level frames surface under their stage spans.
+        assert any("cuts.enumerate" in p for p in profile)
+        assert any("routing.iteration" in p for p in profile)
+
+    def test_profile_call_counts_deterministic(self, bench_doc):
+        again = run_bench(seed=0, scale=0.2, epochs=2, rev="test")
+        calls = {p: f["calls"] for p, f in bench_doc["profile"].items()}
+        assert calls == {p: f["calls"] for p, f in again["profile"].items()}
+
+    def test_validate_catches_missing_profile(self, bench_doc):
+        bad = dict(bench_doc)
+        del bad["profile"]
+        assert any("profile" in p for p in validate_bench(bad))
+        bad["profile"] = {"some/path": {"calls": 1}}
+        assert any(
+            "missing calls/total/self" in p for p in validate_bench(bad)
+        )
+
 
 class TestWriteBench:
     def test_filename_embeds_rev(self):
@@ -88,6 +112,31 @@ class TestCompareBench:
         regressions, _notes = compare_bench(slower, bench_doc, 25.0)
         assert regressions
         assert all("vs baseline" in r for r in regressions)
+
+    def test_attribution_names_top_regressed_span(self, bench_doc):
+        slower = dict(bench_doc)
+        slower["timings"] = {
+            k: v * 3.0 + 1.0 for k, v in bench_doc["timings"].items()
+        }
+        slower["profile"] = {
+            k: dict(f) for k, f in bench_doc["profile"].items()
+        }
+        victim = "bench.flow/flow/stage.synthesis"
+        slower["profile"][victim]["self"] += 2.5
+        regressions, _notes = compare_bench(slower, bench_doc, 25.0)
+        assert regressions[-1] == (
+            f"top regressed span: {victim} (+2.5000s self time)"
+        )
+
+    def test_no_attribution_without_profile_blocks(self, bench_doc):
+        slower = dict(bench_doc)
+        slower["timings"] = {
+            k: v * 3.0 + 1.0 for k, v in bench_doc["timings"].items()
+        }
+        del slower["profile"]
+        regressions, _notes = compare_bench(slower, bench_doc, 25.0)
+        assert regressions
+        assert not any("top regressed span" in r for r in regressions)
 
     def test_tolerance_absorbs_noise(self, bench_doc):
         slightly = dict(bench_doc)

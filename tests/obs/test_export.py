@@ -86,6 +86,36 @@ class TestChromeTrace:
         assert event["ts"] == 0.0
         assert event["dur"] == 1e6
 
+    def test_one_complete_event_per_span(self):
+        tracer = _sample_tracer()
+        with tracer.span("late"):
+            pass
+        tracer.spans[-1].end = None  # simulate a span that never closed
+        doc = to_chrome_trace(tracer.spans)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(tracer.spans) == 4
+        # Unfinished spans still export, with a zero duration.
+        assert complete[-1]["name"] == "late" and complete[-1]["dur"] == 0.0
+
+    def test_json_roundtrip_is_stable(self):
+        doc = to_chrome_trace(_sample_tracer().spans)
+        text = json.dumps(doc, sort_keys=True)
+        assert json.dumps(json.loads(text), sort_keys=True) == text
+
+    def test_tick_clock_output_identical_across_runs(self):
+        one = json.dumps(
+            to_chrome_trace(_sample_tracer().spans), sort_keys=True
+        )
+        two = json.dumps(
+            to_chrome_trace(_sample_tracer().spans), sort_keys=True
+        )
+        assert one == two
+
+    def test_span_tags_land_in_args(self):
+        doc = to_chrome_trace(_sample_tracer().spans)
+        root = [e for e in doc["traceEvents"] if e["name"] == "root"][0]
+        assert root["args"].get("design") == "fpu"
+
 
 class TestTextRenderers:
     def test_render_tree_shape(self):

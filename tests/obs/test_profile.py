@@ -1,0 +1,336 @@
+"""Profiler tests: self-time math, folded/flame/JSON exports, diffing, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Tracer, scoped
+from repro.obs.log import build_crash_report, Logger
+from repro.obs.profile import (
+    FUSED_TAGS,
+    PROFILE_SCHEMA,
+    FrameStat,
+    Profile,
+    SamplingProfiler,
+    build_profile,
+    diff_profiles,
+    load_profile,
+    parse_folded,
+    render_diff,
+    render_flame_html,
+    render_profile,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _tick_tracer():
+    """root spans 8 ticks, child.a 2, child.b 2 -> root self = 8-4 = 4."""
+    tracer = Tracer(deterministic=True)
+    with tracer.span("root"):
+        with tracer.span("child.a", flops=10, instructions=100):
+            pass
+        with tracer.span("child.b"):
+            pass
+        with tracer.span("child.a", flops=5):
+            pass
+    return tracer
+
+
+class TestBuildProfile:
+    def test_self_time_excludes_direct_children(self):
+        profile = build_profile(_tick_tracer().spans, deterministic=True)
+        root = profile.frames["root"]
+        a = profile.frames["root/child.a"]
+        b = profile.frames["root/child.b"]
+        # Tick clock: every span open/close consumes one tick, so each
+        # child lasts exactly 1.0s; root lasts 7.0s (8 clock reads).
+        assert a.calls == 2 and a.total == 2.0 and a.self_time == 2.0
+        assert b.calls == 1 and b.total == 1.0 and b.self_time == 1.0
+        assert root.total == root.self_time + a.total + b.total
+        assert profile.total_self == root.total
+
+    def test_leaf_name_property(self):
+        profile = build_profile(_tick_tracer().spans)
+        assert profile.frames["root/child.a"].name == "child.a"
+
+    def test_counter_tags_fused_and_summed(self):
+        profile = build_profile(_tick_tracer().spans)
+        counters = profile.frames["root/child.a"].counters
+        assert counters["flops"] == 15.0
+        assert counters["instructions"] == 100.0
+        assert "branches" not in counters
+
+    def test_bool_tags_not_fused(self):
+        tracer = Tracer(deterministic=True)
+        with tracer.span("x", flops=True):
+            pass
+        profile = build_profile(tracer.spans)
+        assert profile.frames["x"].counters == {}
+        assert set(FUSED_TAGS) == {
+            "instructions", "branches", "mem_accesses", "flops"
+        }
+
+    def test_unfinished_spans_skipped(self):
+        tracer = Tracer(deterministic=True)
+        with tracer.span("done"):
+            pass
+        tracer.spans[0].end = None
+        assert build_profile(tracer.spans).frames == {}
+
+    def test_top_ranks_by_self_time_then_path(self):
+        profile = build_profile(_tick_tracer().spans)
+        assert [f.path for f in profile.top(2)] == ["root", "root/child.a"]
+
+    def test_same_seed_profiles_identical(self):
+        one = build_profile(_tick_tracer().spans, deterministic=True)
+        two = build_profile(_tick_tracer().spans, deterministic=True)
+        assert one.to_dict() == two.to_dict()
+        assert one.to_folded() == two.to_folded()
+
+
+class TestFoldedFormat:
+    def test_folded_lines_sorted_integer_micros(self):
+        text = build_profile(_tick_tracer().spans).to_folded()
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        assert "root;child.a 2000000" in lines
+        assert text.endswith("\n")
+
+    def test_empty_profile_folds_to_empty_string(self):
+        assert Profile().to_folded() == ""
+
+    def test_roundtrip_preserves_self_time(self):
+        profile = build_profile(_tick_tracer().spans)
+        back = parse_folded(profile.to_folded())
+        assert set(back.frames) == set(profile.frames)
+        for path, frame in profile.frames.items():
+            assert back.frames[path].self_time == pytest.approx(
+                frame.self_time
+            )
+
+    def test_parse_rejects_bad_lines(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_folded("justonetoken\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_folded("a;b notanumber\n")
+
+
+class TestJsonDocument:
+    def test_schema_and_roundtrip(self, tmp_path):
+        profile = build_profile(
+            _tick_tracer().spans, deterministic=True, meta={"seed": 0}
+        )
+        doc = profile.to_dict()
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["deterministic"] is True
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_profile(str(path))
+        assert loaded.to_dict() == doc
+
+    def test_load_profile_detects_folded(self, tmp_path):
+        path = tmp_path / "p.folded"
+        path.write_text("a;b 1000000\n")
+        loaded = load_profile(str(path))
+        assert loaded.frames["a/b"].self_time == pytest.approx(1.0)
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            Profile.from_dict({"schema": "nope/9"})
+
+
+class TestDiff:
+    def test_identical_profiles_diff_to_nothing(self):
+        profile = build_profile(_tick_tracer().spans)
+        diff = diff_profiles(profile, profile)
+        assert diff.empty and diff.top_regression is None
+        assert "no self-time deltas" in render_diff(diff)
+
+    def test_slowdown_ranked_by_delta(self):
+        base = build_profile(_tick_tracer().spans)
+        cur = parse_folded(base.to_folded())
+        cur.frames["root/child.a"].self_time += 3.0
+        cur.frames["root/child.b"].self_time += 1.0
+        diff = diff_profiles(base, cur)
+        assert [d.path for d in diff.regressions] == [
+            "root/child.a", "root/child.b"
+        ]
+        assert diff.top_regression.delta == pytest.approx(3.0)
+        text = render_diff(diff)
+        assert "regressions (2)" in text and "root/child.a" in text
+
+    def test_improvement_and_frame_drift(self):
+        base = build_profile(_tick_tracer().spans)
+        cur = parse_folded(base.to_folded())
+        cur.frames["root/child.b"].self_time = 0.25
+        del cur.frames["root/child.a"]
+        cur.frames["root/new"] = FrameStat(path="root/new", self_time=1.0)
+        diff = diff_profiles(base, cur)
+        assert [d.path for d in diff.improvements] == ["root/child.b"]
+        assert diff.added == ["root/new"]
+        assert diff.removed == ["root/child.a"]
+        assert not diff.empty
+
+    def test_guards_absorb_small_deltas(self):
+        base = build_profile(_tick_tracer().spans)
+        cur = parse_folded(base.to_folded())
+        cur.frames["root"].self_time += 0.5
+        assert diff_profiles(base, cur, abs_guard_seconds=1.0).empty
+        # 0.5s on a 4.0s baseline is 12.5% -- inside a 20% tolerance.
+        assert diff_profiles(base, cur, tolerance_pct=20.0).empty
+        assert not diff_profiles(base, cur).empty
+
+    def test_zero_baseline_percent_is_infinite(self):
+        base = parse_folded("a 0\n")
+        cur = parse_folded("a 1000000\n")
+        diff = diff_profiles(base, cur)
+        assert diff.regressions[0].percent == float("inf")
+        assert "new" in render_diff(diff)
+
+    def test_negative_guards_rejected(self):
+        with pytest.raises(ValueError):
+            diff_profiles(Profile(), Profile(), tolerance_pct=-1.0)
+
+
+class TestRenderProfile:
+    def test_table_lists_hottest_frames(self):
+        profile = build_profile(_tick_tracer().spans)
+        text = render_profile(profile, top=2)
+        assert "root" in text and "root/child.a" in text
+        assert "root/child.b" not in text
+        assert "3 frames" in text
+
+
+class TestFlameHtml:
+    def test_self_contained_light_dark(self):
+        html = render_flame_html(
+            build_profile(_tick_tracer().spans, deterministic=True),
+            title="t<est",
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert "prefers-color-scheme: dark" in html
+        assert "t&lt;est" in html
+        assert "child.a" in html and "child.b" in html
+        assert "tick clock (deterministic)" in html
+        assert "<script" not in html and "http" not in html
+
+    def test_child_widths_are_shares_of_parent(self):
+        html = render_flame_html(build_profile(_tick_tracer().spans))
+        # root/child.a is 2 of root's 7 inclusive seconds.
+        assert f"flex: 0 0 {100.0 * 2.0 / 7.0:.4f}%" in html
+
+    def test_sparse_paths_get_synthetic_parents(self):
+        profile = parse_folded("a;b;c 1000000\n")
+        html = render_flame_html(profile)
+        # "a" and "a;b" carry no frame of their own but must nest "c".
+        assert html.count('<div class="frame"') == 3
+
+
+class TestSamplingProfiler:
+    def test_accumulates_python_frames(self):
+        def inner():
+            return sum(range(50))
+
+        def outer():
+            return inner() + inner()
+
+        with SamplingProfiler() as sampler:
+            outer()
+        frames = sampler.profile.frames
+        inner_paths = [p for p in frames if p.endswith(":inner")]
+        assert len(inner_paths) == 1
+        assert frames[inner_paths[0]].calls == 2
+        assert all(f.self_time >= 0 for f in frames.values())
+
+    def test_restores_previous_profile_hook(self):
+        import sys
+
+        assert sys.getprofile() is None
+        with SamplingProfiler():
+            pass
+        assert sys.getprofile() is None
+
+
+class TestCrashReportProfile:
+    def test_crash_dump_names_hot_frames(self):
+        tracer = _tick_tracer()
+        logger = Logger(deterministic=True)
+        with scoped(tracer=tracer, log=logger):
+            doc = build_crash_report(
+                "unit", 0, exc=RuntimeError("x"),
+                logger=logger, tracer=tracer,
+            )
+        assert doc["profile"][0]["path"] == "root"
+        assert {"path", "calls", "self"} == set(doc["profile"][0])
+        assert len(doc["profile"]) <= 10
+
+
+class TestProfileCli:
+    def _run(self, tmp_path, tag):
+        folded = tmp_path / f"{tag}.folded"
+        args = [
+            "profile", "--workload", "flow", "--design", "ctrl",
+            "--scale", "0.2", "--seed", "0", "--deterministic",
+            "--folded", str(folded),
+        ]
+        assert main(args) == 0
+        return folded
+
+    def test_same_seed_folded_byte_identical(self, tmp_path, capsys):
+        a = self._run(tmp_path, "a")
+        b = self._run(tmp_path, "b")
+        out = capsys.readouterr().out
+        assert a.read_bytes() == b.read_bytes()
+        assert "flow/stage.synthesis" in out
+        # Byte-identical profiles diff to exactly nothing (exit 0).
+        assert main(["profile", "--diff", str(a), str(b)]) == 0
+        assert "no self-time deltas" in capsys.readouterr().out
+
+    def test_diff_flags_injected_slowdown(self, tmp_path, capsys):
+        a = self._run(tmp_path, "a")
+        profile = parse_folded(a.read_text())
+        path = max(
+            profile.frames, key=lambda p: profile.frames[p].self_time
+        )
+        profile.frames[path].self_time += 9.0
+        slow = tmp_path / "slow.folded"
+        slow.write_text(profile.to_folded())
+        assert main(["profile", "--diff", str(a), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "regressions (1)" in out and path in out
+
+    def test_diff_unreadable_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.folded"
+        code = main(["profile", "--diff", str(missing), str(missing)])
+        assert code == 2
+        assert "cannot load profile" in capsys.readouterr().err
+
+    def test_html_and_json_exports(self, tmp_path, capsys):
+        html = tmp_path / "flame.html"
+        doc = tmp_path / "prof.json"
+        args = [
+            "profile", "--workload", "flow", "--design", "ctrl",
+            "--scale", "0.2", "--deterministic",
+            "--html", str(html), "--json", str(doc),
+        ]
+        assert main(args) == 0
+        assert "<!DOCTYPE html>" in html.read_text()
+        loaded = json.loads(doc.read_text())
+        assert loaded["schema"] == PROFILE_SCHEMA
+        assert loaded["meta"]["workload"] == "flow"
+        assert any("/" in p for p in loaded["frames"])
+
+    def test_execute_workload_and_sampling(self, capsys):
+        code = main(
+            [
+                "profile", "--workload", "execute", "--design", "ctrl",
+                "--scale", "0.2", "--seed", "1", "--profile", "heavy",
+                "--sampling",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execute" in out
+        assert "sampling profiler" in out

@@ -39,6 +39,30 @@ class TestSpanBasics:
         assert [e.name for e in span.events] == ["fault"]
         assert span.events[0].tags == {"kind": "boot"}
 
+    def test_add_event_defaults_to_tracer_clock(self):
+        tracer = Tracer(deterministic=True)
+        with tracer.span("work") as span:
+            span.add_event("direct", kind="manual")
+        event = span.events[0]
+        assert event.name == "direct"
+        assert event.tags == {"kind": "manual"}
+        # The default timestamp comes from the tracer's (tick) clock, so
+        # the event lands inside the span, not at time 0.
+        assert span.start <= event.time <= span.end
+        assert well_nested_violations(tracer.spans) == []
+
+    def test_add_event_explicit_time_preserved(self):
+        tracer = Tracer(deterministic=True)
+        with tracer.span("work") as span:
+            span.add_event("pinned", time=0.25)
+        assert span.events[0].time == 0.25
+
+    def test_null_span_add_event_accepts_same_signature(self):
+        span = NULL_SPAN
+        assert span.add_event("ignored") is None
+        assert span.add_event("ignored", time=1.0, kind="x") is None
+        assert span.events == []
+
     def test_orphan_event_kept(self):
         tracer = Tracer(deterministic=True)
         tracer.event("stray", x=1)
