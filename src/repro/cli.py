@@ -37,6 +37,13 @@ Exposes the paper's workflow as terminal commands:
 * ``repro report``       — regression dashboard over the run store:
   terminal sparklines, MAD outlier warnings, deterministic-metric drift
   checks (non-zero exit on drift), optional self-contained HTML.
+* ``repro serve``        — boot the in-process EDA-flow service, drive a
+  seeded mixed-priority job batch through admission control and the
+  worker pool, print the byte-stable per-job completion log, and
+  persist per-job records to the telemetry store.
+* ``repro submit``       — one-shot request against a fresh service
+  instance; prints the structured job (or typed error) document as
+  JSON, mirroring what a network client of the service would receive.
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -287,6 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="UTC timestamp recorded with the run (default: now; library "
         "code never reads the clock)",
     )
+    p_bench.add_argument(
+        "--sweep", action="store_true",
+        help="also run the service concurrency sweep and record the "
+        "throughput knee in the bench document",
+    )
+    p_bench.add_argument(
+        "--sweep-jobs", type=int, default=8, metavar="N",
+        help="jobs offered per sweep level (default: 8)",
+    )
+    p_bench.add_argument(
+        "--sweep-levels", type=int, nargs="+", default=None, metavar="W",
+        help="worker counts to sweep (default: 1 2 4 8 16)",
+    )
 
     p_prof = sub.add_parser(
         "profile",
@@ -373,6 +393,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--html", default=None, metavar="FILE",
         help="also write a self-contained HTML dashboard here",
+    )
+    p_report.add_argument(
+        "--kind", action="append", default=None, metavar="KIND",
+        help="only report runs of this kind; matches exactly or by "
+        "dotted prefix, e.g. 'service' also selects service.job "
+        "(repeatable; default: all kinds)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="boot the EDA-flow service and drive a seeded job batch "
+        "through it (deterministic: same seed, same completion log)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--jobs", type=int, default=20, help="batch size")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--queue-depth", type=int, default=64)
+    p_serve.add_argument(
+        "--priorities", type=int, nargs="+", default=[0, 1],
+        help="priority levels mixed into the batch (default: 0 1)",
+    )
+    p_serve.add_argument(
+        "--kinds", nargs="+", default=["execute", "flow", "plan"],
+        help="job kinds mixed into the batch",
+    )
+    p_serve.add_argument("--design", default="ctrl")
+    p_serve.add_argument("--scale", type=float, default=0.2)
+    p_serve.add_argument(
+        "--rate-capacity", type=float, default=None, metavar="TOKENS",
+        help="per-client token-bucket burst size (default: no rate limit)",
+    )
+    p_serve.add_argument(
+        "--rate-refill", type=float, default=1.0, metavar="PER_SEC",
+        help="token refill rate on the service clock (default: 1.0)",
+    )
+    p_serve.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="also write the byte-stable completion log here (CI diffs "
+        "two same-seed runs of this file)",
+    )
+    p_serve.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="write per-job flight-recorder dumps here on unexpected "
+        "job failures",
+    )
+    p_serve.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="telemetry store to append per-job records to "
+        "(default: benchmarks/runs/runs.jsonl)",
+    )
+    p_serve.add_argument(
+        "--no-store", action="store_true",
+        help="do not persist job records to the telemetry store",
+    )
+    p_serve.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="UTC timestamp stamped on persisted records (default: now)",
+    )
+    p_serve.add_argument(
+        "--rev", default=None, help="revision label (default: git short rev)"
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one job to a fresh service instance and print the "
+        "structured response document as JSON",
+    )
+    p_submit.add_argument(
+        "--kind", default="execute",
+        help="job kind: flow, plan, execute, pipeline, sleep",
+    )
+    p_submit.add_argument("--design", default="ctrl")
+    p_submit.add_argument("--scale", type=float, default=0.3)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--flow-seed", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--client", default="cli")
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout on the service clock (cooperative)",
+    )
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="MCKP deadline for plan/execute/pipeline kinds",
     )
     return parser
 
@@ -687,6 +791,30 @@ def _cmd_bench(args) -> int:
         epochs=args.epochs,
         rev=args.rev,
     )
+    if args.sweep:
+        import time as _time
+
+        from .service.sweep import DEFAULT_LEVELS, run_sweep
+
+        levels = tuple(args.sweep_levels) if args.sweep_levels else DEFAULT_LEVELS
+        started = _time.perf_counter()
+        sweep_doc = run_sweep(
+            seed=args.seed, jobs=args.sweep_jobs, levels=levels
+        )
+        doc["sweep"] = sweep_doc
+        doc["workloads"]["service"] = _time.perf_counter() - started
+        gauges = doc["metrics"]["gauges"]
+        for level, throughput in sweep_doc["throughput"].items():
+            gauges[f"service.sweep.throughput.{level}w"] = throughput
+        knee = sweep_doc["knee"]
+        if knee is not None:
+            gauges["service.sweep.knee_workers"] = knee["x"]
+            print(
+                f"  service sweep: knee at {knee['x']:.0f} workers "
+                f"({knee['y']:.4f} jobs/s simulated)"
+            )
+        else:
+            print("  service sweep: no knee detected")
     problems = validate_bench(doc)
     if problems:
         for problem in problems:
@@ -826,7 +954,12 @@ def _cmd_profile(args) -> int:
 
 def _cmd_report(args) -> int:
     from .obs.report import build_report, render_html, render_text
-    from .obs.store import DEFAULT_STORE_PATH, RunStore, StoreError
+    from .obs.store import (
+        DEFAULT_STORE_PATH,
+        RunStore,
+        StoreError,
+        filter_runs,
+    )
 
     store = RunStore(args.store or DEFAULT_STORE_PATH)
     try:
@@ -834,6 +967,8 @@ def _cmd_report(args) -> int:
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.kind:
+        runs = filter_runs(runs, kinds=args.kind)
     if args.window < 1:
         print("--window must be >= 1", file=sys.stderr)
         return 2
@@ -849,6 +984,132 @@ def _cmd_report(args) -> int:
     if not runs:
         return 0
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from .obs.bench import git_rev
+    from .service import (
+        ServiceConfig,
+        run_session,
+        seeded_job_mix,
+        session_log,
+    )
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    requests = seeded_job_mix(
+        args.seed,
+        args.jobs,
+        kinds=tuple(args.kinds),
+        priorities=tuple(args.priorities),
+        design=args.design,
+        scale=args.scale,
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate_capacity=args.rate_capacity,
+        rate_refill_per_second=args.rate_refill,
+        crash_dir=args.crash_dir,
+        rev=args.rev or git_rev(),
+    )
+    result = run_session(requests, config)
+    service = result.service
+    states = sorted(
+        {job.state.value for job in service.jobs.values()}
+    )
+    print(
+        f"service session seed={args.seed}: {result.accepted} admitted, "
+        f"{result.rejected} rejected "
+        f"({args.workers} workers, queue depth {args.queue_depth})"
+    )
+    for code in sorted(service.admission.rejected):
+        print(
+            f"  rejected [{code}]: {service.admission.rejected[code]} "
+            f"request(s)"
+        )
+    lines = session_log(service)
+    for line in lines:
+        print(line)
+    if args.log:
+        with open(args.log, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        print(f"completion log written to {args.log}")
+    if not args.no_store:
+        from datetime import datetime, timezone
+
+        from .obs.store import DEFAULT_STORE_PATH, RunStore
+
+        # One wall-clock read at the CLI boundary; the service itself
+        # never touches real time.
+        timestamp = args.timestamp or datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+        store = RunStore(args.store or DEFAULT_STORE_PATH)
+        for record in service.records(timestamp):
+            store.append(record)
+        print(
+            f"{len(service.terminal_order) + 1} records appended to "
+            f"{store.path}"
+        )
+    if not service.all_terminal:
+        print("ERROR: non-terminal jobs after drain", file=sys.stderr)
+        return 1
+    failed = [
+        job.job_id
+        for job in service.jobs.values()
+        if job.state.value == "failed"
+    ]
+    if failed:
+        print(f"ERROR: {len(failed)} job(s) failed: {failed}", file=sys.stderr)
+        return 1
+    print(f"all {result.accepted} jobs terminal ({', '.join(states)})")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .service import (
+        JobRequest,
+        ServiceConfig,
+        ServiceError,
+        run_session,
+    )
+
+    params = {}
+    if args.deadline is not None:
+        params["deadline_seconds"] = args.deadline
+    request = JobRequest(
+        kind=args.kind,
+        design=args.design,
+        scale=args.scale,
+        seed=args.seed,
+        flow_seed=args.flow_seed,
+        priority=args.priority,
+        client=args.client,
+        timeout_seconds=args.timeout,
+        params=params,
+    )
+    try:
+        request.validate()
+    except ServiceError as exc:
+        print(_json.dumps(exc.to_response(), sort_keys=True, indent=2))
+        return 1
+    result = run_session([request], ServiceConfig(workers=1))
+    outcome = result.outcomes[0]
+    if not outcome.get("accepted"):
+        print(
+            _json.dumps(
+                {"error": outcome["error"]}, sort_keys=True, indent=2
+            )
+        )
+        return 1
+    job = result.service.jobs[outcome["job_id"]]
+    print(_json.dumps(job.to_public_dict(), sort_keys=True, indent=2))
+    return 0 if job.state.value == "done" else 1
 
 
 def _cmd_benchmarks(_args) -> int:
@@ -872,6 +1133,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -49,6 +49,8 @@ from .spans import Span, Tracer
 
 __all__ = [
     "BENCH_SCHEMA",
+    "KneePoint",
+    "detect_knee",
     "run_bench",
     "write_bench",
     "bench_filename",
@@ -65,6 +67,62 @@ VCPU_LEVELS = (1, 2, 4, 8)
 
 #: Ignore timing deltas below this many seconds (noise floor).
 ABS_GUARD_SECONDS = 0.02
+
+
+class KneePoint:
+    """The detected knee of a scaling curve (see :func:`detect_knee`)."""
+
+    __slots__ = ("index", "x", "y", "gain")
+
+    def __init__(self, index: int, x: float, y: float, gain: float):
+        self.index = index
+        self.x = x
+        self.y = y
+        self.gain = gain
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "x": self.x, "y": self.y,
+                "gain": self.gain}
+
+    def __repr__(self) -> str:
+        return (
+            f"KneePoint(index={self.index}, x={self.x}, y={self.y}, "
+            f"gain={self.gain:.4f})"
+        )
+
+
+def detect_knee(
+    xs, ys, min_gain: float = 0.05
+) -> Optional[KneePoint]:
+    """Locate the knee of an increasing, saturating curve (kneedle-lite).
+
+    Both axes are min-max normalized to ``[0, 1]``; the knee is the point
+    maximizing the difference curve ``y_n - x_n`` — where the curve pulls
+    furthest above the straight diagonal, i.e. where returns start
+    diminishing.  Shared by the ``repro bench`` flow-scaling gauges and
+    the service concurrency sweep so both gates agree on what a knee is.
+
+    Returns ``None`` (never raises) when no knee exists: fewer than three
+    points (a single concurrency point must not crash the sweep), a flat
+    or degenerate curve, or a maximum gain below ``min_gain`` (an
+    essentially linear curve has no knee worth reporting).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"xs/ys length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 3:
+        return None
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 <= x0 or y1 <= y0:
+        return None  # flat curve (or all-equal xs): no knee
+    best: Optional[KneePoint] = None
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        xn = (x - x0) / (x1 - x0)
+        yn = (y - y0) / (y1 - y0)
+        gain = yn - xn
+        if gain >= min_gain and (best is None or gain > best.gain):
+            best = KneePoint(index=i, x=float(x), y=float(y), gain=gain)
+    return best
 
 
 def git_rev(default: str = "dev") -> str:
@@ -149,6 +207,17 @@ def run_bench(
                     registry.gauge(
                         f"flow.runtime_seconds.{stage.value}.{vcpus}v"
                     ).set(result.runtime(vcpus))
+                # Where adding vCPUs stops paying for this stage — same
+                # knee definition the service concurrency sweep uses.
+                speedups = [
+                    result.runtime(VCPU_LEVELS[0]) / result.runtime(v)
+                    for v in VCPU_LEVELS
+                ]
+                knee = detect_knee(VCPU_LEVELS, speedups)
+                if knee is not None:
+                    registry.gauge(
+                        f"bench.flow.scaling_knee_vcpus.{stage.value}"
+                    ).set(knee.x)
         workloads["flow"] = sp.duration
 
         # -- workload 2: one fault-injected executor run ------------------
@@ -263,6 +332,20 @@ def validate_bench(doc: dict) -> List[str]:
             ):
                 out.append(f"profile.{path}: missing calls/total/self")
                 break
+    # The service concurrency sweep is optional (``repro bench --sweep``).
+    sweep = doc.get("sweep")
+    if sweep is not None:
+        if not isinstance(sweep, dict):
+            out.append("sweep: not a dict")
+        else:
+            for key in ("levels", "jobs", "throughput", "makespan_seconds"):
+                if key not in sweep:
+                    out.append(f"sweep.{key}: missing")
+            knee = sweep.get("knee")
+            if knee is not None and not (
+                isinstance(knee, dict) and {"index", "x", "y"} <= set(knee)
+            ):
+                out.append("sweep.knee: missing index/x/y")
     return out
 
 

@@ -58,6 +58,12 @@ DETERMINISTIC_METRICS: Tuple[str, ...] = (
     "executor.billed_cost",
     "bench.executor.total_cost",
     "bench.executor.sim_seconds",
+    # Service layer: per-job billing (service.job records) and the
+    # concurrency-sweep knee (bench --sweep records) are exact functions
+    # of the session seed.
+    "service.job.total_cost",
+    "service.job.sim_seconds",
+    "service.sweep.knee_workers",
 )
 
 #: Robust-z threshold for MAD outlier flags.

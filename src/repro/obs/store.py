@@ -50,6 +50,7 @@ __all__ = [
     "RunRecord",
     "RunStore",
     "bench_to_run",
+    "filter_runs",
     "metric_value",
     "metric_names",
     "metric_series",
@@ -238,6 +239,30 @@ def metric_value(record: RunRecord, name: str) -> Optional[float]:
         if name in table:
             return float(table[name])
     return None
+
+
+def filter_runs(
+    runs: Sequence[RunRecord],
+    kinds: Optional[Sequence[str]] = None,
+    rev: Optional[str] = None,
+) -> List[RunRecord]:
+    """Subset of ``runs`` matching the given kinds and/or revision.
+
+    ``kinds`` matches exactly *or* by dotted prefix, so ``"service"``
+    selects both ``service`` session records and ``service.job`` records
+    (``repro report --kind service``).  ``None`` means no constraint.
+    """
+    out: List[RunRecord] = []
+    for record in runs:
+        if kinds is not None and not any(
+            record.kind == k or record.kind.startswith(k + ".")
+            for k in kinds
+        ):
+            continue
+        if rev is not None and record.rev != rev:
+            continue
+        out.append(record)
+    return out
 
 
 def metric_names(runs: Sequence[RunRecord]) -> List[str]:

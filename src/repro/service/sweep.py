@@ -1,0 +1,134 @@
+"""Concurrency sweep: ramp worker counts, find the throughput knee.
+
+In the spirit of chipforge-style parallel performance tests, the sweep
+offers the *same* seeded batch of execute jobs to the service at each
+worker level and measures simulated-capacity throughput:
+
+* every job reports its simulated execution seconds (the fault-injected
+  executor's ``total_time`` — deterministic for one seed);
+* the level's **makespan** is the greedy earliest-free-worker schedule
+  of those durations over ``w`` workers (exactly the schedule an ideal
+  ``w``-worker pool achieves when job runtimes dominate);
+* throughput is ``jobs / makespan``.
+
+Because the durations are simulated, the throughput curve is a pure
+function of the seed: it rises near-linearly while workers are the
+bottleneck and saturates once ``w`` exceeds what the batch can use —
+and :func:`repro.obs.bench.detect_knee` (the same helper the bench
+flow-scaling gauges use) finds that knee deterministically, which is
+what lets CI gate on it.  Wall-clock seconds per level are also
+recorded, but only the simulated quantities are drift-gated.
+
+The sweep doubles as a cross-level consistency check: every level must
+report *identical* per-job durations (same seeds, same jobs) — any
+divergence means service scheduling leaked into job results, and the
+sweep raises instead of emitting a bogus curve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.bench import detect_knee
+from .api import EDAService, ServiceConfig, run_session
+from .jobs import JobRequest
+from .runners import PipelineRunner
+
+__all__ = ["simulated_makespan", "run_sweep", "DEFAULT_LEVELS"]
+
+#: Worker counts the default sweep ramps through.
+DEFAULT_LEVELS = (1, 2, 4, 8, 16)
+
+
+def simulated_makespan(durations: Sequence[float], workers: int) -> float:
+    """Greedy earliest-free-worker makespan of ``durations`` on
+    ``workers`` identical workers, jobs assigned in list order."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not durations:
+        return 0.0
+    free = [0.0] * min(workers, len(durations))
+    for duration in durations:
+        start = heapq.heappop(free)
+        heapq.heappush(free, start + float(duration))
+    return max(free)
+
+
+def _sweep_requests(seed: int, jobs: int) -> List[JobRequest]:
+    """The per-level batch: uniform execute jobs, per-job seeds derived
+    from the sweep seed, one shared flow characterization."""
+    return [
+        JobRequest(
+            kind="execute",
+            design="ctrl",
+            scale=0.2,
+            seed=seed * 1000 + i,
+            flow_seed=seed,
+            priority=i % 2,
+            client="sweep",
+        )
+        for i in range(jobs)
+    ]
+
+
+def run_sweep(
+    seed: int = 0,
+    jobs: int = 8,
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    wall_seconds: Optional[Dict[int, float]] = None,
+) -> dict:
+    """Run the sweep; returns the ``sweep`` block of the bench document.
+
+    ``wall_seconds`` (optional, filled in by the caller) maps level ->
+    measured wall-clock seconds; everything else in the returned block
+    is deterministic for one ``(seed, jobs, levels)`` triple.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if not levels:
+        raise ValueError("levels must be non-empty")
+    levels = sorted(set(int(w) for w in levels))
+    runner = PipelineRunner()  # shared flow cache across all levels
+    reference: Optional[List[float]] = None
+    throughput: Dict[int, float] = {}
+    makespans: Dict[int, float] = {}
+    for workers in levels:
+        config = ServiceConfig(
+            workers=workers, queue_depth=max(jobs, 1), deterministic=True
+        )
+        result = run_session(_sweep_requests(seed, jobs), config, runner)
+        service: EDAService = result.service
+        durations: List[float] = []
+        for job_id in sorted(service.jobs):
+            job = service.jobs[job_id]
+            if not job.result or not job.result.get("feasible"):
+                raise RuntimeError(
+                    f"sweep job {job_id} did not execute: "
+                    f"state={job.state.value} error={job.error}"
+                )
+            durations.append(float(job.result["total_time"]))
+        if reference is None:
+            reference = durations
+        elif durations != reference:
+            raise RuntimeError(
+                f"sweep level {workers} changed job durations — service "
+                f"scheduling leaked into job results"
+            )
+        makespan = simulated_makespan(durations, workers)
+        makespans[workers] = makespan
+        throughput[workers] = jobs / makespan if makespan > 0 else 0.0
+    knee = detect_knee(levels, [throughput[w] for w in levels])
+    return {
+        "seed": seed,
+        "jobs": jobs,
+        "levels": list(levels),
+        "job_seconds": list(reference or []),
+        "makespan_seconds": {str(w): makespans[w] for w in levels},
+        "throughput": {str(w): throughput[w] for w in levels},
+        "knee": knee.to_dict() if knee is not None else None,
+        "wall_seconds": {
+            str(w): wall_seconds[w]
+            for w in sorted(wall_seconds or {})
+        },
+    }

@@ -30,6 +30,7 @@ from .oracles import (
     obs_violations,
     recipe_equivalence_violations,
     schedule_violations,
+    service_violations,
     spot_violations,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "obs_violations",
     "recipe_equivalence_violations",
     "schedule_violations",
+    "service_violations",
     "spot_violations",
 ]

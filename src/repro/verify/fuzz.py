@@ -102,6 +102,11 @@ def _obs_trial(rng: random.Random) -> List[str]:
     )
 
 
+def _service_trial(rng: random.Random) -> List[str]:
+    requests, workers, depth = generators.random_service_case(rng)
+    return oracles.service_violations(requests, workers, depth)
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -112,6 +117,7 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "executor": _executor_trial,
     "chaos": _chaos_trial,
     "obs": _obs_trial,
+    "service": _service_trial,
 }
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "random_execution_policy",
     "random_execution_case",
     "random_chaos_params",
+    "random_service_case",
 ]
 
 #: Synthesis pass pool used by :func:`random_recipe`.
@@ -259,3 +260,41 @@ def random_chaos_params(
     max_rate = 1.2 * 3600.0 / segment
     rate = rng.uniform(0.2, min(3.0, max_rate))
     return runtime, rate, interval
+
+
+def random_service_case(rng: random.Random):
+    """One service fuzz case: ``(requests, workers, queue_depth)``.
+
+    Batches mix priorities, clients, and job kinds.  Most jobs are cheap
+    ``sleep`` churn; at most two per batch run the real execute pipeline
+    (sharing one flow seed so the characterization cache absorbs the
+    cost).  Queue depth is sometimes smaller than the batch, so the
+    admission-bound branch of the oracle is exercised too.
+    """
+    from ..service import JobRequest
+
+    jobs = rng.randint(3, 8)
+    workers = rng.randint(1, 3)
+    depth = rng.randint(2, jobs + 2)
+    heavy_budget = 2
+    requests = []
+    for _ in range(jobs):
+        kind = rng.choice(("sleep", "sleep", "sleep", "execute", "plan"))
+        if kind in ("execute", "plan"):
+            if heavy_budget == 0:
+                kind = "sleep"
+            else:
+                heavy_budget -= 1
+        requests.append(
+            JobRequest(
+                kind=kind,
+                design="ctrl",
+                scale=0.15,
+                seed=rng.randrange(1 << 16),
+                flow_seed=7,
+                priority=rng.randint(0, 2),
+                client=rng.choice(("alice", "bob")),
+                params={"steps": rng.randint(0, 3)} if kind == "sleep" else {},
+            )
+        )
+    return requests, workers, depth

@@ -67,6 +67,7 @@ __all__ = [
     "exhaustive_output_tables",
     "node_value_words",
     "obs_violations",
+    "service_violations",
 ]
 
 #: Relative tolerance for floating-point objective comparisons.
@@ -712,4 +713,117 @@ def obs_violations(
             f"obs: {len(stage_spans)} stage spans != {committed} committed "
             f"stages + {aborted} aborted"
         )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Service layer: multi-job billing + deterministic scheduling
+# ----------------------------------------------------------------------
+def service_violations(requests: Sequence, workers: int, depth: int) -> List[str]:
+    """Audit one seeded service session against its own invariants.
+
+    Extends the single-run obs billing oracle to *multi-job* sessions:
+
+    * **admission bound** — with whole-batch admission (every submit
+      lands before the first worker step) and no rate limiter, exactly
+      ``min(len(requests), depth)`` jobs are admitted and every
+      rejection is a typed ``queue_full``;
+    * **slot accounting** — after drain, every acquired worker slot was
+      released and no worker is active (the no-leak invariant);
+    * **per-job billing** — for every executed job, the
+      ``executor.billed_seconds`` / ``executor.billed_cost`` counters in
+      the job's *own* scoped registry equal the job result's trace
+      totals exactly (``==``, not approximately): two independent
+      recording paths, per job, under concurrency;
+    * **replay determinism** — a second session from the same requests
+      produces the identical completion order and byte-identical
+      session log;
+    * **priority order** — with one worker, completion order is exactly
+      ``sorted by (-priority, admission seq)``.
+    """
+    from ..service import ServiceConfig, run_session, session_log
+
+    out: List[str] = []
+    config = ServiceConfig(workers=workers, queue_depth=depth)
+    first = run_session(requests, config)
+    service = first.service
+
+    expected_admits = min(len(requests), depth)
+    if first.accepted != expected_admits:
+        out.append(
+            f"service: {first.accepted} admitted != expected "
+            f"{expected_admits} (batch {len(requests)}, depth {depth})"
+        )
+    for outcome in first.outcomes:
+        if not outcome.get("accepted"):
+            code = outcome.get("error", {}).get("code")
+            if code != "queue_full":
+                out.append(
+                    f"service: rejection code {code!r}, expected 'queue_full'"
+                )
+
+    pool = service.pool
+    if pool.active != 0:
+        out.append(f"service: {pool.active} workers still active after drain")
+    if pool.slots_acquired != pool.slots_released:
+        out.append(
+            f"service: slot leak — {pool.slots_acquired} acquired vs "
+            f"{pool.slots_released} released"
+        )
+    non_terminal = [
+        job.job_id for job in service.jobs.values() if not job.terminal
+    ]
+    if non_terminal:
+        out.append(f"service: non-terminal jobs after drain: {non_terminal}")
+
+    for job in service.jobs.values():
+        counters = job.metrics.get("counters", {})
+        billed_seconds = counters.get("executor.billed_seconds", 0.0)
+        billed_cost = counters.get("executor.billed_cost", 0.0)
+        result = job.result or {}
+        if result.get("kind") == "pipeline":
+            result = result.get("execution") or {}
+        if result.get("feasible") is False:
+            result = {}
+        trace_seconds = result.get("billed_seconds", 0.0)
+        trace_cost = result.get("billed_cost", 0.0)
+        if billed_seconds != trace_seconds:
+            out.append(
+                f"service: {job.job_id} billed-seconds counter "
+                f"{billed_seconds!r} != trace total {trace_seconds!r}"
+            )
+        if billed_cost != trace_cost:
+            out.append(
+                f"service: {job.job_id} billed-cost counter "
+                f"{billed_cost!r} != trace total {trace_cost!r}"
+            )
+
+    second = run_session(requests, config)
+    if second.completion_order != first.completion_order:
+        out.append(
+            f"service: completion order not deterministic — "
+            f"{first.completion_order} then {second.completion_order}"
+        )
+    if session_log(second.service) != session_log(service):
+        out.append("service: session log not byte-stable across replays")
+
+    if workers == 1:
+        admitted = [
+            job for job in service.jobs.values() if job.worker is not None
+        ]
+        expected_order = [
+            job.job_id
+            for job in sorted(
+                admitted, key=lambda j: (-j.request.priority, j.seq)
+            )
+        ]
+        ran_order = [
+            job_id for job_id in service.terminal_order
+            if service.jobs[job_id].worker is not None
+        ]
+        if ran_order != expected_order:
+            out.append(
+                f"service: 1-worker completion order {ran_order} != "
+                f"priority/FIFO order {expected_order}"
+            )
     return out

@@ -1,0 +1,71 @@
+"""The typed error taxonomy: codes, statuses, and response documents."""
+
+import pytest
+
+from repro.service import (
+    ERROR_CODES,
+    InvalidRequestError,
+    JobCancelled,
+    JobNotFoundError,
+    JobTimeout,
+    NotCancellableError,
+    QueueFullError,
+    RateLimitedError,
+    ServiceDrainingError,
+    ServiceError,
+)
+
+
+class TestTaxonomy:
+    def test_every_code_maps_to_its_class(self):
+        for code, cls in ERROR_CODES.items():
+            assert cls.code == code
+            assert issubclass(cls, ServiceError)
+
+    def test_statuses_are_http_flavoured(self):
+        assert InvalidRequestError.status == 400
+        assert JobNotFoundError.status == 404
+        assert NotCancellableError.status == 409
+        assert RateLimitedError.status == 429
+        assert QueueFullError.status == 503
+        assert ServiceDrainingError.status == 503
+
+    def test_retryable_split(self):
+        # Backoff-and-resubmit can succeed only for load-shedding errors.
+        assert RateLimitedError.retryable
+        assert QueueFullError.retryable
+        assert ServiceDrainingError.retryable
+        assert not InvalidRequestError.retryable
+        assert not JobNotFoundError.retryable
+        assert not NotCancellableError.retryable
+
+    def test_control_flow_exceptions_are_not_responses(self):
+        assert not issubclass(JobCancelled, ServiceError)
+        assert not issubclass(JobTimeout, ServiceError)
+        assert "cancelled" not in ERROR_CODES
+        assert "timed_out" not in ERROR_CODES
+
+
+class TestResponseDocument:
+    def test_shape_and_sorted_details(self):
+        exc = RateLimitedError(
+            "slow down", retry_after_seconds=0.5, client="alice"
+        )
+        doc = exc.to_response()
+        assert set(doc) == {"error"}
+        err = doc["error"]
+        assert err["code"] == "rate_limited"
+        assert err["status"] == 429
+        assert err["message"] == "slow down"
+        assert err["retryable"] is True
+        assert list(err["details"]) == ["client", "retry_after_seconds"]
+
+    def test_details_default_empty(self):
+        err = QueueFullError("full").to_response()["error"]
+        assert err["details"] == {}
+
+    def test_message_is_the_exception_string(self):
+        exc = JobNotFoundError("no such job: job-0001", job_id="job-0001")
+        assert str(exc) == "no such job: job-0001"
+        with pytest.raises(ServiceError):
+            raise exc

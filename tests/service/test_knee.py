@@ -1,0 +1,81 @@
+"""The shared knee-detection helper (kneedle-lite).
+
+One helper serves both the bench flow-scaling gauges and the service
+concurrency sweep, so its edge cases are pinned here: flat, monotone
+saturating, noisy, and degenerate (fewer than three points) curves.
+"""
+
+import pytest
+
+from repro.obs.bench import KneePoint, detect_knee
+
+
+class TestDegenerateCurves:
+    def test_single_point_returns_none(self):
+        # A single concurrency point must not crash the sweep.
+        assert detect_knee([4], [2.5]) is None
+
+    def test_two_points_return_none(self):
+        assert detect_knee([1, 2], [1.0, 2.0]) is None
+
+    def test_empty_returns_none(self):
+        assert detect_knee([], []) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            detect_knee([1, 2, 3], [1.0, 2.0])
+
+
+class TestFlatCurves:
+    def test_flat_y_returns_none(self):
+        assert detect_knee([1, 2, 4, 8], [3.0, 3.0, 3.0, 3.0]) is None
+
+    def test_flat_x_returns_none(self):
+        assert detect_knee([2, 2, 2, 2], [1.0, 2.0, 3.0, 4.0]) is None
+
+
+class TestMonotoneCurves:
+    def test_saturating_curve_has_its_knee_at_saturation(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [1.0, 2.0, 4.0, 7.5, 7.8]
+        knee = detect_knee(xs, ys)
+        assert knee is not None
+        assert knee.x == 8.0
+        assert knee.index == 3
+        assert knee.gain > 0.3
+
+    def test_linear_curve_has_no_knee(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert detect_knee(xs, ys) is None
+
+    def test_min_gain_threshold_filters_weak_knees(self):
+        xs = [1, 2, 3, 4]
+        ys = [1.0, 2.1, 3.1, 4.0]  # barely superlinear early on
+        assert detect_knee(xs, ys, min_gain=0.5) is None
+        assert detect_knee(xs, ys, min_gain=0.0) is not None
+
+
+class TestNoisyCurves:
+    def test_noise_does_not_move_the_knee_far(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [1.02, 1.97, 4.05, 7.4, 7.6]  # jittered saturating curve
+        knee = detect_knee(xs, ys)
+        assert knee is not None
+        assert knee.x in (4.0, 8.0)
+
+    def test_non_monotone_tail_is_tolerated(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [1.0, 2.0, 4.0, 7.5, 7.2]  # slight decline after the knee
+        knee = detect_knee(xs, ys)
+        assert knee is not None
+        assert knee.x == 8.0
+
+
+class TestKneePoint:
+    def test_to_dict_round_trip(self):
+        knee = detect_knee([1, 2, 4, 8], [1.0, 2.0, 3.6, 3.9])
+        doc = knee.to_dict()
+        assert set(doc) == {"index", "x", "y", "gain"}
+        assert doc["x"] == knee.x
+        assert "KneePoint" in repr(knee)

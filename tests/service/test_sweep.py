@@ -1,0 +1,70 @@
+"""The concurrency sweep: makespan model, determinism, knee gating.
+
+The full sweeps re-run the seeded batch at every worker level, so they
+carry the ``service`` marker (excluded from tier-1, run by the CI
+service-smoke job); the makespan model unit tests stay in tier-1.
+"""
+
+import pytest
+
+from repro.service import DEFAULT_LEVELS, run_sweep, simulated_makespan
+
+
+class TestSimulatedMakespan:
+    def test_empty_batch_is_zero(self):
+        assert simulated_makespan([], 4) == 0.0
+
+    def test_one_worker_is_the_sum(self):
+        assert simulated_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_workers_is_the_max(self):
+        assert simulated_makespan([1.0, 2.0, 3.0], 3) == 3.0
+        assert simulated_makespan([1.0, 2.0, 3.0], 10) == 3.0
+
+    def test_greedy_earliest_free_worker(self):
+        # Two workers, list order: w0=[3], w1=[1,1,1] -> makespan 3.
+        assert simulated_makespan([3.0, 1.0, 1.0, 1.0], 2) == 3.0
+        # Equal jobs pack evenly: ceil(4/2) * 2 = 4.
+        assert simulated_makespan([2.0] * 4, 2) == 4.0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            simulated_makespan([1.0], 0)
+
+
+@pytest.mark.service
+class TestRunSweep:
+    def test_sweep_is_deterministic_and_finds_a_knee(self):
+        kwargs = dict(seed=0, jobs=8, levels=(1, 2, 4, 8, 16))
+        a = run_sweep(**kwargs)
+        b = run_sweep(**kwargs)
+        assert a == b
+        assert a["levels"] == [1, 2, 4, 8, 16]
+        assert len(a["job_seconds"]) == 8
+        # Near-equal simulated jobs: throughput saturates once workers
+        # cover the batch, so the knee lands at w == jobs.
+        assert a["knee"] is not None
+        assert a["knee"]["x"] == 8.0
+        throughput = [a["throughput"][str(w)] for w in a["levels"]]
+        assert throughput == sorted(throughput)
+
+    def test_single_level_sweep_does_not_crash(self):
+        doc = run_sweep(seed=0, jobs=4, levels=(2,))
+        assert doc["levels"] == [2]
+        assert doc["knee"] is None
+        assert doc["throughput"]["2"] > 0
+
+    def test_wall_seconds_pass_through(self):
+        doc = run_sweep(
+            seed=0, jobs=4, levels=(1, 2), wall_seconds={1: 0.5, 2: 0.3}
+        )
+        assert doc["wall_seconds"] == {"1": 0.5, "2": 0.3}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_sweep(jobs=0)
+        with pytest.raises(ValueError):
+            run_sweep(levels=())
+
+    def test_default_levels_are_sorted_powers(self):
+        assert DEFAULT_LEVELS == (1, 2, 4, 8, 16)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -108,13 +110,13 @@ class TestVerifyCommand:
         assert main(["verify", "--list"]) == 0
         out = capsys.readouterr().out
         for name in ("mckp", "schedule", "aig", "cuts", "spot", "executor",
-                     "chaos", "obs"):
+                     "chaos", "obs", "service"):
             assert name in out
 
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 8 oracles, 80 trials, 0 violations" in out
+        assert "PASS: 9 oracles, 90 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])
@@ -350,3 +352,103 @@ class TestVerifyReplayDump:
         assert "it broke" in out
         dump = tmp_path / "crash_verify.boom_77.json"
         assert dump.exists()
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.jobs == 20
+        assert args.workers == 2
+        assert args.queue_depth == 64
+        assert args.priorities == [0, 1]
+        assert args.kinds == ["execute", "flow", "plan"]
+        assert args.rate_capacity is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.kind == "execute"
+        assert args.client == "cli"
+        assert args.timeout is None
+
+
+class TestServeCommand:
+    def test_serve_runs_a_seeded_batch(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve", "--seed", "3", "--jobs", "6",
+                "--kinds", "sleep", "--no-store",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 admitted, 0 rejected" in out
+        assert "all 6 jobs terminal" in out
+        assert out.count("job-") == 6
+
+    def test_serve_log_is_byte_stable_across_runs(self, tmp_path, capsys):
+        logs = []
+        for name in ("a.log", "b.log"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "serve", "--seed", "5", "--jobs", "8",
+                    "--kinds", "sleep", "--no-store",
+                    "--log", str(path),
+                ]
+            ) == 0
+            logs.append(path.read_bytes())
+        assert logs[0] == logs[1]
+
+    def test_serve_reports_typed_rejections(self, capsys):
+        code = main(
+            [
+                "serve", "--seed", "1", "--jobs", "10",
+                "--kinds", "sleep", "--queue-depth", "4", "--no-store",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 admitted, 6 rejected" in out
+        assert "rejected [queue_full]: 6 request(s)" in out
+
+    def test_serve_persists_job_records(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        code = main(
+            [
+                "serve", "--seed", "2", "--jobs", "4", "--kinds", "sleep",
+                "--store", str(store),
+                "--timestamp", "2026-08-08T00:00:00Z",
+                "--rev", "test",
+            ]
+        )
+        assert code == 0
+        from repro.obs.store import RunStore, filter_runs
+
+        runs = RunStore(store).load()
+        assert len(runs) == 5  # 4 jobs + 1 session record
+        assert len(filter_runs(runs, kinds=["service.job"])) == 4
+        session = filter_runs(runs, kinds=["service"])
+        assert [r.kind for r in session] == ["service.job"] * 4 + ["service"]
+
+
+class TestSubmitCommand:
+    def test_submit_sleep_prints_job_document(self, capsys):
+        code = main(["submit", "--kind", "sleep"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job_id"] == "job-0000"
+        assert doc["state"] == "done"
+        assert doc["result"]["kind"] == "sleep"
+
+    def test_submit_unknown_kind_is_a_typed_400(self, capsys):
+        code = main(["submit", "--kind", "bogus"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["error"]["code"] == "invalid_request"
+        assert doc["error"]["status"] == 400
+
+    def test_submit_invalid_scale_is_rejected(self, capsys):
+        code = main(["submit", "--kind", "flow", "--scale", "0"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["error"]["code"] == "invalid_request"

@@ -45,6 +45,7 @@ class TestDriver:
             "executor",
             "chaos",
             "obs",
+            "service",
         ]
 
     def test_oracle_subset(self):

@@ -397,3 +397,25 @@ class TestConvergenceOracle:
             500.0, 1.0, None, trials=20, simulate=mutant
         )
         assert any("simulator returned" in v for v in violations)
+
+
+class TestServiceOracle:
+    def test_generated_cases_pass(self):
+        from repro.verify import service_violations
+        from repro.verify.generators import random_service_case
+
+        for seed in range(4):
+            requests, workers, depth = random_service_case(
+                random.Random(seed)
+            )
+            assert service_violations(requests, workers, depth) == []
+
+    def test_over_depth_batch_passes_with_typed_rejections(self):
+        from repro.service import JobRequest
+        from repro.verify import service_violations
+
+        requests = [
+            JobRequest(kind="sleep", priority=i % 2, params={"steps": 1})
+            for i in range(6)
+        ]
+        assert service_violations(requests, workers=2, depth=3) == []
