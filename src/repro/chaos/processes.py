@@ -1,0 +1,314 @@
+"""Correlated fault processes: regimes, AZ reclaims, waves, noisy regions.
+
+The base :class:`~repro.cloud.faults.FaultInjector` draws every fault
+independently; real clouds fail in *bursts*.  :class:`ChaosInjector`
+layers four correlated processes on top of it, all drawn from the same
+crc32 ``(seed, purpose, stage, attempt)`` stream construction so chaos
+traces stay byte-reproducible and per-stage draws stay independent:
+
+* **Regime switching** — the world alternates calm/storm with
+  exponential dwell times (streams keyed ``("regime", "global", 0)``);
+  storms multiply the spot reclaim hazard, and preemption times are
+  drawn by inverting the piecewise-constant hazard over the regime
+  schedule from a single unit-exponential draw.
+* **AZ-wide reclaims** — a Poisson stream of ``(time, az)`` events
+  (``("az", "global", 0)``); capacity in the struck zone is reclaimed at
+  that instant, preempting whatever runs there regardless of the
+  idiosyncratic draw.
+* **Boot-failure waves** — windows (``("bootwave", "global", 0)``)
+  during which provisioning attempts suffer an *extra* correlated
+  failure probability on their own per-stage streams.
+* **Noisy regions** — a deterministic
+  :class:`~repro.cloud.tenancy.TenancyModel` slowdown from per-region
+  neighbour load, scaled by severity, multiplying the base straggler
+  factor.
+
+Everything is modulated by one ``severity`` knob in [0, 1].  At severity
+zero every rate and probability is exactly zero, no stream is ever
+consulted, and a chaos execution is bit-identical to the fault-free base
+executor — the anchor the graceful-degradation oracle holds on to.
+
+The global schedules (regime flips, AZ events, wave starts) are built
+lazily but append-only from their dedicated streams, so any query order
+observes the same schedule prefix.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..cloud.faults import FaultInjector, FaultProfile
+from ..cloud.tenancy import NeighborLoad, TenancyModel
+from .topology import CloudTopology
+
+__all__ = ["ChaosSpec", "ChaosInjector"]
+
+#: Scan cap when searching the AZ event stream for a matching zone.
+_MAX_AZ_SCAN = 10_000
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Full-severity knobs for every correlated fault process.
+
+    All rates and probabilities here describe severity **1.0**; the
+    injector scales them linearly down to zero.  ``profile`` is the
+    full-severity base :class:`FaultProfile` (idiosyncratic faults).
+    """
+
+    profile: FaultProfile = field(default_factory=FaultProfile.storm)
+    storm_rate_multiplier: float = 6.0
+    mean_calm_seconds: float = 3600.0
+    mean_storm_seconds: float = 900.0
+    az_reclaim_rate_per_hour: float = 0.5
+    boot_wave_rate_per_hour: float = 0.2
+    boot_wave_duration_seconds: float = 300.0
+    boot_wave_prob: float = 0.3
+    region_loads: Mapping[str, NeighborLoad] = field(default_factory=dict)
+    cache_miss_rate: float = 0.3
+    checkpoint_gb: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.storm_rate_multiplier < 1.0:
+            raise ValueError(
+                "storm_rate_multiplier must be >= 1, got "
+                f"{self.storm_rate_multiplier!r}"
+            )
+        if self.mean_calm_seconds <= 0 or self.mean_storm_seconds <= 0:
+            raise ValueError("regime dwell means must be positive")
+        if self.az_reclaim_rate_per_hour < 0:
+            raise ValueError("az_reclaim_rate_per_hour must be non-negative")
+        if self.boot_wave_rate_per_hour < 0:
+            raise ValueError("boot_wave_rate_per_hour must be non-negative")
+        if self.boot_wave_duration_seconds <= 0:
+            raise ValueError("boot_wave_duration_seconds must be positive")
+        if not 0.0 <= self.boot_wave_prob <= 1.0:
+            raise ValueError(
+                f"boot_wave_prob must be a probability, got {self.boot_wave_prob!r}"
+            )
+        if not 0.0 <= self.cache_miss_rate <= 1.0:
+            raise ValueError("cache_miss_rate must be in [0, 1]")
+        if self.checkpoint_gb < 0:
+            raise ValueError("checkpoint_gb must be non-negative")
+
+    def effective_profile(self, severity: float) -> FaultProfile:
+        """The idiosyncratic fault profile at ``severity``.
+
+        Rates and probabilities scale linearly; the straggler multiplier
+        keeps its full-severity value (its *frequency* scales, and at
+        severity zero it can never fire).
+        """
+        if not 0.0 <= severity <= 1.0:
+            raise ValueError(f"severity must be in [0, 1], got {severity!r}")
+        p = self.profile
+        return replace(
+            p,
+            spot_interrupt_rate_per_hour=(
+                p.spot_interrupt_rate_per_hour * severity
+            ),
+            boot_failure_prob=p.boot_failure_prob * severity,
+            api_error_prob=p.api_error_prob * severity,
+            straggler_prob=p.straggler_prob * severity,
+        )
+
+
+class ChaosInjector(FaultInjector):
+    """Severity-scaled correlated faults over one region/AZ topology.
+
+    ``placement`` maps executor stage keys to availability zones; stages
+    not listed run in the home region's first zone.
+    """
+
+    def __init__(
+        self,
+        spec: ChaosSpec,
+        severity: float,
+        topology: CloudTopology,
+        placement: Optional[Mapping[str, str]] = None,
+        seed: int = 0,
+        tenancy: Optional[TenancyModel] = None,
+    ):
+        super().__init__(spec.effective_profile(severity), seed)
+        self.spec = spec
+        self.severity = severity
+        self.topology = topology
+        self.placement: Dict[str, str] = dict(placement or {})
+        for az in self.placement.values():
+            topology.region_of(az)  # validate early
+        self.tenancy = tenancy if tenancy is not None else TenancyModel()
+        self._default_az = topology.region(topology.home).zones[0]
+        # Lazily-extended global schedules (append-only, order-stable).
+        self._regime_flips: List[float] = []
+        self._regime_horizon = 0.0
+        self._az_events: List[Tuple[float, str]] = []
+        self._az_horizon = 0.0
+        self._az_exhausted = False
+        self._wave_starts: List[float] = []
+        self._wave_horizon = 0.0
+        # Attribution of the most recent preemption draw.
+        self.last_preemption_cause: Optional[str] = None
+        self.last_reclaim_az: Optional[str] = None
+
+    # -- placement --------------------------------------------------------
+
+    def zone_of(self, stage: str) -> str:
+        return self.placement.get(stage, self._default_az)
+
+    def region_of(self, stage: str) -> str:
+        return self.topology.region_of(self.zone_of(stage)).name
+
+    # -- regime schedule --------------------------------------------------
+
+    def _extend_regime(self, until: float) -> None:
+        """Grow the calm/storm flip schedule past ``until``."""
+        if self.severity <= 0:
+            return
+        mean_calm = self.spec.mean_calm_seconds / self.severity
+        mean_storm = self.spec.mean_storm_seconds
+        rng = self.stream("regime", "global", 0)
+        while self._regime_horizon <= until:
+            in_storm = len(self._regime_flips) % 2 == 1
+            dwell = rng.expovariate(
+                1.0 / (mean_storm if in_storm else mean_calm)
+            )
+            self._regime_horizon += dwell
+            self._regime_flips.append(self._regime_horizon)
+
+    def regime_at(self, t: float) -> str:
+        """``"calm"`` or ``"storm"`` at simulated time ``t``."""
+        if self.severity <= 0:
+            return "calm"
+        self._extend_regime(t)
+        flips = bisect.bisect_right(self._regime_flips, t)
+        return "storm" if flips % 2 == 1 else "calm"
+
+    def _hazard_multiplier(self, in_storm: bool) -> float:
+        return self.spec.storm_rate_multiplier if in_storm else 1.0
+
+    # -- AZ reclaim events ------------------------------------------------
+
+    def _extend_az(self, until: float) -> None:
+        lam = self.severity * self.spec.az_reclaim_rate_per_hour / 3600.0
+        if lam <= 0:
+            return
+        rng = self.stream("az", "global", 0)
+        zones = self.topology.zones
+        while self._az_horizon <= until and len(self._az_events) < _MAX_AZ_SCAN:
+            self._az_horizon += rng.expovariate(lam)
+            az = zones[rng.randrange(len(zones))]
+            self._az_events.append((self._az_horizon, az))
+        if len(self._az_events) >= _MAX_AZ_SCAN:
+            self._az_exhausted = True
+
+    def az_reclaims_until(self, t: float) -> List[Tuple[float, str]]:
+        """All ``(time, az)`` reclaim events in ``[0, t]`` (may be empty)."""
+        self._extend_az(t)
+        return [(when, az) for when, az in self._az_events if when <= t]
+
+    def next_az_reclaim(self, az: str, now: float) -> float:
+        """Time of the first AZ-wide reclaim of ``az`` strictly after ``now``."""
+        lam = self.severity * self.spec.az_reclaim_rate_per_hour / 3600.0
+        if lam <= 0:
+            return math.inf
+        horizon = now
+        while True:
+            self._extend_az(horizon)
+            i = bisect.bisect_right([t for t, _ in self._az_events], now)
+            for t, event_az in self._az_events[i:]:
+                if event_az == az:
+                    return t
+            if self._az_exhausted:
+                return math.inf
+            horizon = self._az_horizon + 1.0
+
+    # -- boot-failure waves -----------------------------------------------
+
+    def _extend_waves(self, until: float) -> None:
+        lam = self.severity * self.spec.boot_wave_rate_per_hour / 3600.0
+        if lam <= 0:
+            return
+        rng = self.stream("bootwave", "global", 0)
+        while self._wave_horizon <= until:
+            self._wave_horizon += rng.expovariate(lam)
+            self._wave_starts.append(self._wave_horizon)
+
+    def in_boot_wave(self, now: float) -> bool:
+        if self.severity <= 0 or self.spec.boot_wave_rate_per_hour <= 0:
+            return False
+        self._extend_waves(now)
+        i = bisect.bisect_right(self._wave_starts, now)
+        if i == 0:
+            return False
+        return now < self._wave_starts[i - 1] + self.spec.boot_wave_duration_seconds
+
+    # -- FaultInjector overrides ------------------------------------------
+
+    def boot_fails(self, stage: str, attempt: int, now: float = 0.0) -> bool:
+        if super().boot_fails(stage, attempt, now):
+            return True
+        if not self.in_boot_wave(now):
+            return False
+        p = self.severity * self.spec.boot_wave_prob
+        return p > 0 and self.stream("bootwave", stage, attempt).random() < p
+
+    def straggler_factor(
+        self, stage: str, attempt: int, now: float = 0.0
+    ) -> float:
+        base = super().straggler_factor(stage, attempt, now)
+        load = self.spec.region_loads.get(self.region_of(stage))
+        if load is None or self.severity <= 0:
+            return base
+        scaled = NeighborLoad(
+            cpu=self.severity * load.cpu,
+            memory_bandwidth=self.severity * load.memory_bandwidth,
+        )
+        return base * self.tenancy.slowdown(scaled, self.spec.cache_miss_rate)
+
+    def time_to_preemption(
+        self, stage: str, attempt: int, now: float = 0.0
+    ) -> float:
+        """Min of the regime-modulated idiosyncratic draw and the next
+        AZ-wide reclaim of the stage's zone; sets ``last_preemption_cause``
+        (``"idiosyncratic"`` / ``"az_reclaim"``) for event attribution."""
+        self.last_preemption_cause = None
+        self.last_reclaim_az = None
+        idio = self._idiosyncratic_preemption(stage, attempt, now)
+        az = self.zone_of(stage)
+        reclaim_at = self.next_az_reclaim(az, now)
+        az_delta = reclaim_at - now
+        if az_delta < idio:
+            self.last_preemption_cause = "az_reclaim"
+            self.last_reclaim_az = az
+            return az_delta
+        if math.isfinite(idio):
+            self.last_preemption_cause = "idiosyncratic"
+        return idio
+
+    def _idiosyncratic_preemption(
+        self, stage: str, attempt: int, now: float
+    ) -> float:
+        """Invert the piecewise-constant regime hazard from one draw."""
+        lam = self.profile.spot_interrupt_rate_per_hour / 3600.0
+        if lam <= 0:
+            return math.inf
+        budget = self.stream("preempt", stage, attempt).expovariate(1.0)
+        t = now
+        while True:
+            self._extend_regime(t)
+            flips = self._regime_flips
+            i = bisect.bisect_right(flips, t)
+            in_storm = i % 2 == 1
+            rate = lam * self._hazard_multiplier(in_storm)
+            segment_end = flips[i] if i < len(flips) else self._regime_horizon
+            if segment_end <= t:
+                # Severity > 0 always extends the schedule; this is a
+                # pure numerical guard against a zero-length segment.
+                segment_end = t + 1.0
+            span = segment_end - t
+            if budget <= rate * span:
+                return (t - now) + budget / rate
+            budget -= rate * span
+            t = segment_end

@@ -1,0 +1,241 @@
+"""Region/AZ topology: per-region pricing, spot markets, transfer costs.
+
+The paper prices a single implicit region; multi-service EDA deployments
+span several.  A :class:`CloudTopology` arranges named :class:`Region`\\ s
+(each with availability zones, a price multiplier over the reference
+catalog, its own spot discount and reclaim-rate multiplier, and an egress
+rate for data leaving it) and answers the three questions the chaos
+engine asks:
+
+* what does VM shape ``X`` cost *in region R*?  (``price_in`` /
+  ``catalog_in`` — the home region keeps the reference catalog's plain
+  names so a zero-severity chaos run is byte-identical to the base
+  executor's trace);
+* what does moving a checkpoint from ``R`` to ``R'`` cost?
+  (``transfer_cost`` — intra-region moves are free, cross-region moves
+  bill the source region's egress rate per GB);
+* where does a storm-struck flow flee to?  (``failover_target`` — the
+  next region in declaration order, a deterministic ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..cloud.instance import VMConfig
+from ..cloud.pricing import PricingTable, aws_like_catalog
+from ..cloud.spot import SpotMarket
+
+__all__ = ["Region", "CloudTopology", "default_topology"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One cloud region: a name, its AZs, and its pricing personality.
+
+    Attributes
+    ----------
+    name:
+        Region identifier (``us-east``).
+    zones:
+        Availability-zone names, globally unique across the topology.
+    price_multiplier:
+        On-demand rate relative to the reference catalog (1.0 = same).
+    spot_discount:
+        Spot-to-on-demand price ratio inside this region.
+    interrupt_rate_multiplier:
+        Scales the profile's spot reclaim rate for capacity sold here.
+    egress_per_gb:
+        USD per GB for data *leaving* this region (ingress is free, as
+        on the big clouds).
+    """
+
+    name: str
+    zones: Tuple[str, ...]
+    price_multiplier: float = 1.0
+    spot_discount: float = 0.3
+    interrupt_rate_multiplier: float = 1.0
+    egress_per_gb: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name cannot be empty")
+        if not self.zones:
+            raise ValueError(f"region {self.name!r} must have at least one zone")
+        if self.price_multiplier <= 0:
+            raise ValueError(
+                f"price_multiplier must be positive, got {self.price_multiplier!r}"
+            )
+        if not 0.0 < self.spot_discount <= 1.0:
+            raise ValueError(
+                f"spot_discount must be in (0, 1], got {self.spot_discount!r}"
+            )
+        if self.interrupt_rate_multiplier < 0:
+            raise ValueError(
+                "interrupt_rate_multiplier must be non-negative, got "
+                f"{self.interrupt_rate_multiplier!r}"
+            )
+        if self.egress_per_gb < 0:
+            raise ValueError(
+                f"egress_per_gb must be non-negative, got {self.egress_per_gb!r}"
+            )
+
+
+class CloudTopology:
+    """A ring of regions over one reference pricing catalog.
+
+    The first region (or ``home``) is the *reference*: its catalog is the
+    plain one, unsuffixed, so plans built against it are indistinguishable
+    from single-region plans.  Every other region mints ``name@region``
+    twins at its multiplier via :meth:`PricingTable.repriced`.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[Region],
+        catalog: Optional[PricingTable] = None,
+        home: Optional[str] = None,
+    ):
+        self.regions: Tuple[Region, ...] = tuple(regions)
+        if not self.regions:
+            raise ValueError("topology needs at least one region")
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate region names in topology")
+        self._by_name: Dict[str, Region] = {r.name: r for r in self.regions}
+        self._zone_region: Dict[str, Region] = {}
+        for r in self.regions:
+            for az in r.zones:
+                if az in self._zone_region:
+                    raise ValueError(f"zone {az!r} appears in two regions")
+                self._zone_region[az] = r
+        self.catalog = catalog if catalog is not None else aws_like_catalog()
+        self.home = home if home is not None else self.regions[0].name
+        if self.home not in self._by_name:
+            raise KeyError(f"home region {self.home!r} not in topology")
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def region_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.regions)
+
+    @property
+    def zones(self) -> Tuple[str, ...]:
+        return tuple(az for r in self.regions for az in r.zones)
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown region {name!r}") from None
+
+    def region_of(self, az: str) -> Region:
+        try:
+            return self._zone_region[az]
+        except KeyError:
+            raise KeyError(f"unknown availability zone {az!r}") from None
+
+    # -- pricing ----------------------------------------------------------
+
+    def price_in(self, vm: VMConfig, region_name: str) -> VMConfig:
+        """Reprice a home-region VM shape into ``region_name``.
+
+        The home region returns ``vm`` unchanged (plain name, reference
+        rate); other regions mint a ``name@region`` twin at the region's
+        multiplier.
+        """
+        region = self.region(region_name)
+        if region.name == self.home:
+            return vm
+        return replace(
+            vm,
+            name=f"{vm.name}@{region.name}",
+            price_per_hour=vm.price_per_hour * region.price_multiplier,
+        )
+
+    def catalog_in(self, region_name: str) -> PricingTable:
+        """The full catalog as priced inside ``region_name``."""
+        region = self.region(region_name)
+        if region.name == self.home:
+            return self.catalog
+        return self.catalog.repriced(
+            region.price_multiplier, suffix=f"@{region.name}"
+        )
+
+    def spot_market(
+        self,
+        region_name: str,
+        interrupt_rate_per_hour: float,
+        checkpoint_interval_seconds: Optional[float] = None,
+    ) -> SpotMarket:
+        """A region-tuned spot market over the region's catalog."""
+        region = self.region(region_name)
+        return SpotMarket(
+            catalog=self.catalog_in(region_name),
+            discount=region.spot_discount,
+            interrupt_rate_per_hour=(
+                interrupt_rate_per_hour * region.interrupt_rate_multiplier
+            ),
+            checkpoint_interval_seconds=checkpoint_interval_seconds,
+        )
+
+    # -- movement ---------------------------------------------------------
+
+    def transfer_cost(self, src: str, dst: str, gb: float) -> float:
+        """USD to move ``gb`` of checkpoint data from ``src`` to ``dst``."""
+        if gb < 0:
+            raise ValueError(f"transfer size must be non-negative, got {gb!r}")
+        src_region = self.region(src)
+        self.region(dst)  # validate
+        if src == dst:
+            return 0.0
+        return src_region.egress_per_gb * gb
+
+    def max_egress_per_gb(self) -> float:
+        return max(r.egress_per_gb for r in self.regions)
+
+    def max_price_multiplier(self) -> float:
+        return max(r.price_multiplier for r in self.regions)
+
+    def failover_target(self, region_name: str) -> str:
+        """The next region in the declaration ring (deterministic)."""
+        names = self.region_names
+        if len(names) == 1:
+            return region_name
+        i = names.index(self.region(region_name).name)
+        return names[(i + 1) % len(names)]
+
+
+def default_topology(catalog: Optional[PricingTable] = None) -> CloudTopology:
+    """Three regions, two AZs each — the scenario suites' world map."""
+    return CloudTopology(
+        regions=(
+            Region(
+                name="us-east",
+                zones=("us-east-1a", "us-east-1b"),
+                price_multiplier=1.0,
+                spot_discount=0.30,
+                interrupt_rate_multiplier=1.0,
+                egress_per_gb=0.02,
+            ),
+            Region(
+                name="us-west",
+                zones=("us-west-2a", "us-west-2b"),
+                price_multiplier=1.04,
+                spot_discount=0.32,
+                interrupt_rate_multiplier=0.8,
+                egress_per_gb=0.02,
+            ),
+            Region(
+                name="eu-central",
+                zones=("eu-central-1a", "eu-central-1b"),
+                price_multiplier=1.12,
+                spot_discount=0.35,
+                interrupt_rate_multiplier=0.6,
+                egress_per_gb=0.05,
+            ),
+        ),
+        catalog=catalog,
+    )

@@ -223,6 +223,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=500,
         help="Monte-Carlo trials for the headline convergence check",
     )
+    p_chaos.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a named correlated-fault suite instead of the fuzz "
+        "harness: az_reclaim_storm, noisy_region, regime_flap, "
+        "transfer_partition, or 'all'",
+    )
+    p_chaos.add_argument(
+        "--severity", type=float, action="append", default=None,
+        metavar="S",
+        help="severity level(s) in [0, 1] for --scenario (repeatable; "
+        "default: 0 0.5 1.0)",
+    )
+    p_chaos.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the byte-stable scenario trace dump here (CI runs "
+        "each scenario twice and cmp's the dumps)",
+    )
+    p_chaos.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="append chaos.scenario records to this run store "
+        "(only with --scenario)",
+    )
+    p_chaos.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="UTC timestamp stamped on persisted records (default: now)",
+    )
+    p_chaos.add_argument(
+        "--rev", default=None,
+        help="revision label for persisted records (default: git rev)",
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -655,10 +685,78 @@ def _cmd_execute(args) -> int:
     return 0 if result.completed else 1
 
 
+def _cmd_chaos_scenario(args) -> int:
+    from .chaos import (
+        SCENARIOS,
+        run_scenario,
+        scenario_names,
+        scenario_to_run,
+    )
+
+    names = scenario_names() if args.scenario == "all" else (args.scenario,)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)}; known: "
+            f"{', '.join(scenario_names())} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    severities = args.severity if args.severity else [0.0, 0.5, 1.0]
+    bad = [s for s in severities if not 0.0 <= s <= 1.0]
+    if bad:
+        print(f"--severity must be in [0, 1], got {bad}", file=sys.stderr)
+        return 2
+
+    results = []
+    for name in names:
+        print(f"{name}: {SCENARIOS[name].description}")
+        for severity in severities:
+            result = run_scenario(name, severity=severity, seed=args.seed)
+            print(f"  {result.summary()}")
+            results.append(result)
+    violated = [r for r in results if not r.within_bounds]
+
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            for result in results:
+                handle.write(result.trace_dump())
+        print(f"trace dump written to {args.trace_out}")
+    if args.store:
+        from datetime import datetime, timezone
+
+        from .obs.bench import git_rev
+        from .obs.store import RunStore
+
+        timestamp = args.timestamp or datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+        rev = args.rev or git_rev()
+        store = RunStore(args.store)
+        for result in results:
+            store.append(scenario_to_run(result, rev, timestamp))
+        print(
+            f"{len(results)} chaos.scenario records appended to {store.path}"
+        )
+
+    if violated:
+        print(
+            f"FAIL: {len(violated)} scenario run(s) exceeded the "
+            f"degradation bound"
+        )
+        return 1
+    print(
+        f"PASS: {len(results)} scenario runs within their degradation bounds"
+    )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .cloud.spot import spot_expected_runtime
     from .verify import convergence_violations, run_fuzz
 
+    if args.scenario is not None:
+        return _cmd_chaos_scenario(args)
     report = run_fuzz(
         oracle_names=["executor", "chaos"],
         trials=args.trials,

@@ -285,7 +285,7 @@ class PlanExecutor:
         stage_options: Optional[Sequence],
         record_events: bool,
     ) -> ExecutionResult:
-        injector = FaultInjector(self.profile, seed)
+        injector = self._make_injector(seed)
         trace = ExecutionTrace(seed=seed, enabled=record_events)
         result = ExecutionResult(
             plan=plan, deadline_seconds=deadline_seconds, seed=seed, trace=trace
@@ -362,6 +362,15 @@ class PlanExecutor:
         return result
 
     # -- internals --------------------------------------------------------
+    def _make_injector(self, seed: int) -> FaultInjector:
+        """Build the fault source for one execution.
+
+        Called exactly once per ``execute``, so subclasses can both swap
+        in a richer injector (the chaos engine's correlated processes)
+        and reset any per-run state here.
+        """
+        return FaultInjector(self.profile, seed)
+
     def _timeout_budgets(
         self,
         assignments: Sequence[StageAssignment],
@@ -400,9 +409,9 @@ class PlanExecutor:
         attempt = 0
         while True:
             failure: Optional[EventKind] = None
-            if injector.boot_fails(stage_key, attempt):
+            if injector.boot_fails(stage_key, attempt, now=t):
                 failure = EventKind.BOOT_FAILURE
-            elif injector.api_errors(stage_key, attempt):
+            elif injector.api_errors(stage_key, attempt, now=t):
                 failure = EventKind.API_ERROR
             if failure is None:
                 rec.attempts = attempt + 1
@@ -505,6 +514,40 @@ class PlanExecutor:
             price_per_hour=vm.price_per_hour / self.policy.spot_discount,
         )
 
+    def _note_preemption(
+        self,
+        a: StageAssignment,
+        t: float,
+        rec: StageRecord,
+        injector: FaultInjector,
+        trace: ExecutionTrace,
+        result: ExecutionResult,
+    ) -> None:
+        """Hook invoked right after each PREEMPTION event is recorded.
+
+        The base executor's preemptions carry no extra structure; the
+        chaos engine attributes them (AZ-wide reclaim vs regime storm)
+        by recording follow-up events here.
+        """
+
+    def _fallback_target(
+        self,
+        a: StageAssignment,
+        t: float,
+        rec: StageRecord,
+        injector: FaultInjector,
+        trace: ExecutionTrace,
+        result: ExecutionResult,
+        stage_options: Optional[Sequence],
+    ) -> VMConfig:
+        """Pick the VM a degraded spot stage finishes on.
+
+        The base policy is the same-region on-demand twin; the chaos
+        engine overrides this to fail over across regions (with transfer
+        billing) when the home region is inside a storm.
+        """
+        return self._on_demand_twin(a.vm, a.stage, stage_options)
+
     def _run_stage(
         self,
         a: StageAssignment,
@@ -529,7 +572,7 @@ class PlanExecutor:
             t = self._provision(a, t, injector, trace, rec)
             attempt = rec.attempts - 1
 
-            factor = injector.straggler_factor(stage_key, attempt)
+            factor = injector.straggler_factor(stage_key, attempt, now=t)
             effective = a.runtime_seconds * factor
             if factor > 1.0:
                 trace.record(
@@ -606,7 +649,7 @@ class PlanExecutor:
         remaining = effective
         while remaining > _WORK_EPS:
             segment = remaining if interval is None else min(interval, remaining)
-            draw = injector.time_to_preemption(stage_key, attempt)
+            draw = injector.time_to_preemption(stage_key, attempt, now=t)
             if draw >= segment:
                 t += segment
                 self._bill(result, trace, t, stage_key, a.vm, segment, rec)
@@ -636,6 +679,7 @@ class PlanExecutor:
                 count=rec.preemptions,
                 sim_time=t,
             )
+            self._note_preemption(a, t, rec, injector, trace, result)
             timed_out = budget is not None and (t - stage_t0) > budget
             if timed_out:
                 trace.record(
@@ -646,7 +690,9 @@ class PlanExecutor:
                     EventKind.TIMEOUT.value, stage=stage_key, sim_time=t
                 )
             if timed_out or (cap is not None and rec.preemptions >= cap):
-                od = self._on_demand_twin(a.vm, a.stage, stage_options)
+                od = self._fallback_target(
+                    a, t, rec, injector, trace, result, stage_options
+                )
                 trace.record(
                     t, EventKind.FALLBACK, stage=stage_key, vm=od.name,
                     reason="timeout" if timed_out else "preemptions",

@@ -58,18 +58,27 @@ class FaultProfile:
 
     def __post_init__(self) -> None:
         if self.spot_interrupt_rate_per_hour < 0:
-            raise ValueError("interrupt rate must be non-negative")
+            raise ValueError(
+                "spot_interrupt_rate_per_hour must be non-negative, got "
+                f"{self.spot_interrupt_rate_per_hour!r}"
+            )
         for name in ("boot_failure_prob", "api_error_prob", "straggler_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p!r}")
-        if self.straggler_slowdown < 1.0:
-            raise ValueError("straggler_slowdown must be >= 1")
+        if self.straggler_slowdown <= 1.0:
+            raise ValueError(
+                "straggler_slowdown must be > 1 (a multiplier of 1 is a "
+                f"no-op straggler), got {self.straggler_slowdown!r}"
+            )
         if (
             self.checkpoint_interval_seconds is not None
             and self.checkpoint_interval_seconds <= 0
         ):
-            raise ValueError("checkpoint interval must be positive")
+            raise ValueError(
+                "checkpoint_interval_seconds must be positive, got "
+                f"{self.checkpoint_interval_seconds!r}"
+            )
 
     @property
     def fault_free(self) -> bool:
@@ -111,12 +120,27 @@ class FaultProfile:
             checkpoint_interval_seconds=300.0,
         )
 
+    @classmethod
+    def storm(cls) -> "FaultProfile":
+        """A full-blown capacity storm: reclaim rates an order of magnitude
+        past ``preemption_heavy`` with aggressive checkpointing — the
+        full-severity anchor of the correlated chaos scenarios."""
+        return cls(
+            spot_interrupt_rate_per_hour=12.0,
+            boot_failure_prob=0.15,
+            api_error_prob=0.10,
+            straggler_prob=0.25,
+            straggler_slowdown=2.0,
+            checkpoint_interval_seconds=120.0,
+        )
+
 
 #: Profiles addressable from the CLI (``repro execute --profile calm``).
 PROFILES = {
     "none": FaultProfile.none,
     "calm": FaultProfile.calm,
     "heavy": FaultProfile.preemption_heavy,
+    "storm": FaultProfile.storm,
 }
 
 
@@ -143,22 +167,29 @@ class FaultInjector:
             self._streams[key] = rng
         return rng
 
-    def boot_fails(self, stage: str, attempt: int) -> bool:
+    def boot_fails(self, stage: str, attempt: int, now: float = 0.0) -> bool:
+        """``now`` is the simulation clock — unused by the base Poisson
+        model, but time-correlated subclasses (boot-failure waves, regime
+        switching) key their hazards on it."""
         p = self.profile.boot_failure_prob
         return p > 0 and self.stream("boot", stage, attempt).random() < p
 
-    def api_errors(self, stage: str, attempt: int) -> bool:
+    def api_errors(self, stage: str, attempt: int, now: float = 0.0) -> bool:
         p = self.profile.api_error_prob
         return p > 0 and self.stream("api", stage, attempt).random() < p
 
-    def straggler_factor(self, stage: str, attempt: int) -> float:
+    def straggler_factor(
+        self, stage: str, attempt: int, now: float = 0.0
+    ) -> float:
         """Runtime multiplier for this stage attempt (1.0 = healthy host)."""
         p = self.profile.straggler_prob
         if p > 0 and self.stream("straggler", stage, attempt).random() < p:
             return self.profile.straggler_slowdown
         return 1.0
 
-    def time_to_preemption(self, stage: str, attempt: int) -> float:
+    def time_to_preemption(
+        self, stage: str, attempt: int, now: float = 0.0
+    ) -> float:
         """Seconds from segment start to the next spot reclaim (may be inf).
 
         Exponential with the profile's hourly rate; by memorylessness a

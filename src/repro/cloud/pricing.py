@@ -12,6 +12,7 @@ sub-linear in vCPUs, as the implied AWS menu was.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional
 
 from .instance import InstanceFamily, VMConfig
@@ -78,6 +79,24 @@ class PricingTable:
         if not matches:
             raise KeyError(f"no config with {vcpus} vCPUs")
         return min(matches, key=lambda c: c.price_per_hour)
+
+    def repriced(self, factor: float, suffix: str = "") -> "PricingTable":
+        """A copy of the catalog with every hourly rate scaled by ``factor``.
+
+        Regional catalogs are minted this way: ``suffix`` (e.g.
+        ``"@eu-central"``) keeps the minted names distinct from the
+        reference region's so both menus can coexist in one plan.
+        """
+        if factor <= 0:
+            raise ValueError(f"price factor must be positive, got {factor!r}")
+        return PricingTable(
+            replace(
+                c,
+                name=f"{c.name}{suffix}",
+                price_per_hour=c.price_per_hour * factor,
+            )
+            for c in self._configs
+        )
 
 
 def aws_like_catalog() -> PricingTable:

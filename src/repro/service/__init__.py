@@ -39,6 +39,7 @@ from .errors import (
     ERROR_CODES,
     InvalidRequestError,
     JobCancelled,
+    JobEvicted,
     JobNotFoundError,
     JobTimeout,
     NotCancellableError,
@@ -71,6 +72,7 @@ __all__ = [
     "Job",
     "JobCancelled",
     "JobContext",
+    "JobEvicted",
     "JobNotFoundError",
     "JobQueue",
     "JobRequest",

@@ -63,6 +63,11 @@ class ServiceConfig:
     deterministic: bool = True
     crash_dir: Optional[str] = None
     rev: str = "dev"
+    #: Automatically resubmit jobs cancelled by an external eviction
+    #: (never jobs cancelled by the client), up to ``max_requeues``
+    #: incarnations per original request.
+    requeue_on_eviction: bool = True
+    max_requeues: int = 1
 
 
 class EDAService:
@@ -170,6 +175,33 @@ class EDAService:
         self.registry.counter("service.cancel_requests").inc()
         return job.to_public_dict()
 
+    def evict(self, job_id: str, reason: str = "external") -> dict:
+        """Cancel a job because something *outside* the service took its
+        capacity (an AZ reclaim, a chaos storm striking its zone).
+
+        Queued jobs go terminal immediately; running jobs observe the
+        eviction at their next cooperative checkpoint as
+        :class:`~repro.service.errors.JobEvicted`.  Either way the job
+        lands in ``cancelled`` and — when ``requeue_on_eviction`` is set
+        and the budget allows — a fresh incarnation of the request is
+        admitted automatically.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id}", job_id=job_id)
+        if job.terminal:
+            raise NotCancellableError(
+                f"job {job_id} is already {job.state.value}",
+                job_id=job_id,
+                state=job.state.value,
+            )
+        job.external_cancel = reason
+        if job.state is JobState.QUEUED:
+            job.transition(JobState.CANCELLED, self.clock())
+            self._on_terminal(job)
+        self.registry.counter("service.evictions").inc()
+        return job.to_public_dict()
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
@@ -247,9 +279,50 @@ class EDAService:
     def _on_terminal(self, job: Job) -> None:
         self.terminal_order.append(job.job_id)
         self.registry.counter(f"service.terminal.{job.state.value}").inc()
+        self._maybe_requeue(job)
         self.registry.gauge("service.queue_depth").set(len(self.queue))
         if self.all_terminal:
             self._idle.set()
+
+    def _maybe_requeue(self, job: Job) -> bool:
+        """Resubmit an evicted job's request under a fresh job id.
+
+        Only externally-evicted cancellations qualify; client cancels and
+        natural terminal states never requeue.  A draining service, an
+        exhausted requeue budget, or an admission rejection all end the
+        line (each counted separately so sessions stay auditable).
+        """
+        if (
+            job.external_cancel is None
+            or job.state is not JobState.CANCELLED
+            or not self.config.requeue_on_eviction
+        ):
+            return False
+        if job.requeues >= self.config.max_requeues:
+            self.registry.counter("service.requeue_exhausted").inc()
+            return False
+        if self.admission.draining:
+            self.registry.counter("service.requeue_draining").inc()
+            return False
+        clone = Job(
+            job_id=f"job-{self._seq:04d}",
+            request=job.request,
+            seq=self._seq,
+            requeues=job.requeues + 1,
+            requeue_of=job.job_id,
+        )
+        try:
+            self.admission.admit(clone)
+        except ServiceError as exc:
+            self.registry.counter(f"service.rejected.{exc.code}").inc()
+            return False
+        self._seq += 1
+        self.jobs[clone.job_id] = clone
+        clone.history.append((JobState.QUEUED.value, self.clock()))
+        self.registry.counter("service.requeued").inc()
+        self._idle.clear()
+        self.pool.notify()
+        return True
 
 
 def _monotonic() -> Callable[[], float]:

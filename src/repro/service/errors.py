@@ -12,10 +12,14 @@ structured error document the in-process API and the CLI print:
                "message": "...", "retryable": true,
                "details": {"client": "alice", "retry_after_seconds": 0.5}}}
 
-Two extra exceptions — :class:`JobCancelled` and :class:`JobTimeout` —
-are *control flow*, not responses: runners raise them at cooperative
-checkpoints and the worker pool converts them into the ``cancelled`` /
-``timed_out`` terminal states instead of error documents.
+Three extra exceptions — :class:`JobCancelled`, :class:`JobEvicted` and
+:class:`JobTimeout` — are *control flow*, not responses: runners raise
+them at cooperative checkpoints and the worker pool converts them into
+the ``cancelled`` / ``timed_out`` terminal states instead of error
+documents.  :class:`JobEvicted` (a :class:`JobCancelled` subtype) marks
+cancellation by an *external* event — an AZ reclaim, a chaos storm —
+rather than a client request; unlike a client cancel it leaves a
+forensic crash dump and is eligible for automatic requeueing.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ __all__ = [
     "QueueFullError",
     "ServiceDrainingError",
     "JobCancelled",
+    "JobEvicted",
     "JobTimeout",
     "ERROR_CODES",
 ]
@@ -127,6 +132,23 @@ ERROR_CODES: Dict[str, Type[ServiceError]] = {
 
 class JobCancelled(Exception):
     """Control flow: a runner observed its job's cancellation request."""
+
+
+class JobEvicted(JobCancelled):
+    """Control flow: the job was cancelled by an *external* event.
+
+    Raised at cooperative checkpoints once ``Job.external_cancel`` is
+    set (a spot reclaim took the worker's capacity, a chaos scenario
+    struck the job's zone).  The pool still lands the job in the
+    ``cancelled`` terminal state and always releases its slot, but —
+    unlike a client cancel — it also writes the per-job crash dump and
+    the service may requeue the job.
+    """
+
+    def __init__(self, job_id: str, reason: str = "external"):
+        super().__init__(job_id)
+        self.job_id = job_id
+        self.reason = reason
 
 
 class JobTimeout(Exception):

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.store import RunRecord
-from .errors import InvalidRequestError, JobCancelled, JobTimeout
+from .errors import InvalidRequestError, JobCancelled, JobEvicted, JobTimeout
 
 __all__ = [
     "JOB_KINDS",
@@ -137,6 +137,15 @@ class Job:
     error: Optional[dict] = None
     worker: Optional[int] = None
     cancel_requested: bool = False
+    #: Reason string set when an *external* event (AZ reclaim, storm)
+    #: revokes this job's capacity; checkpoints then raise
+    #: :class:`~repro.service.errors.JobEvicted` instead of plain
+    #: :class:`JobCancelled`.
+    external_cancel: Optional[str] = None
+    #: How many times this request has been requeued after evictions.
+    requeues: int = 0
+    #: Job id of the evicted incarnation this job re-runs, if any.
+    requeue_of: Optional[str] = None
     #: Per-job metric snapshot (``MetricsSnapshot.to_dict()``), recorded
     #: by the pool in inline mode — the multi-job billing oracle compares
     #: these counters against the job's own execution trace.
@@ -197,7 +206,13 @@ class JobContext:
         return self.clock() - self.started
 
     def checkpoint(self) -> None:
-        """Raise if the job was cancelled or its deadline has passed."""
+        """Raise if the job was evicted, cancelled, or past its deadline.
+
+        Eviction outranks a client cancel: an external capacity loss is
+        the stronger fact and carries the forensic/requeue semantics.
+        """
+        if self.job.external_cancel is not None:
+            raise JobEvicted(self.job.job_id, self.job.external_cancel)
         if self.job.cancel_requested:
             raise JobCancelled(self.job.job_id)
         if (
@@ -228,6 +243,12 @@ def job_to_run(job: Job, rev: str, timestamp_utc: str) -> RunRecord:
     }
     if job.error is not None:
         labels["error"] = job.error
+    if job.external_cancel is not None:
+        labels["evicted"] = job.external_cancel
+    if job.requeues:
+        labels["requeues"] = job.requeues
+    if job.requeue_of is not None:
+        labels["requeue_of"] = job.requeue_of
     return RunRecord(
         kind="service.job",
         rev=rev,

@@ -22,7 +22,9 @@ Invariants the property tests hold the pool to:
   ``slots_released == slots_acquired`` and ``active == 0``;
 * :class:`~repro.service.errors.JobCancelled` / ``JobTimeout`` raised at
   runner checkpoints become the ``cancelled`` / ``timed_out`` terminal
-  states, never crash dumps;
+  states, never crash dumps — except
+  :class:`~repro.service.errors.JobEvicted` (external capacity loss),
+  which lands in ``cancelled`` *and* writes the per-job crash dump;
 * any *other* exception marks the job ``failed`` with a structured
   error document and (when a crash directory is configured and the
   flight recorder is on) writes a replayable per-job crash dump.
@@ -39,7 +41,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..obs import MetricsRegistry, get_logger, scoped
 from ..obs.log import build_crash_report, write_crash_report
-from .errors import JobCancelled, JobTimeout, ServiceError
+from .errors import JobCancelled, JobEvicted, JobTimeout, ServiceError
 from .jobs import Job, JobContext, JobState
 from .queue import JobQueue
 
@@ -168,6 +170,12 @@ class WorkerPool:
                 )
             job.result = result
             job.transition(JobState.DONE, self.clock())
+        except JobEvicted as exc:
+            # External capacity loss, not a client cancel: same terminal
+            # state, but keep the forensic dump — the job did real work
+            # that something outside the service destroyed.
+            job.transition(JobState.CANCELLED, self.clock())
+            self._dump_crash(job, exc)
         except JobCancelled:
             job.transition(JobState.CANCELLED, self.clock())
         except JobTimeout:

@@ -107,6 +107,11 @@ def _service_trial(rng: random.Random) -> List[str]:
     return oracles.service_violations(requests, workers, depth)
 
 
+def _scenario_trial(rng: random.Random) -> List[str]:
+    name, severity, seed = generators.random_scenario_case(rng)
+    return oracles.chaos_scenario_violations(name, severity, seed)
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -118,6 +123,7 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "chaos": _chaos_trial,
     "obs": _obs_trial,
     "service": _service_trial,
+    "scenario": _scenario_trial,
 }
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "random_execution_case",
     "random_chaos_params",
     "random_service_case",
+    "random_scenario_case",
 ]
 
 #: Synthesis pass pool used by :func:`random_recipe`.
@@ -298,3 +299,17 @@ def random_service_case(rng: random.Random):
             )
         )
     return requests, workers, depth
+
+
+def random_scenario_case(rng: random.Random):
+    """One chaos-scenario fuzz case: ``(name, severity, seed)``.
+
+    Severity 0 appears occasionally so the fuzz pool keeps hammering the
+    zero-severity anchor; otherwise it spreads over (0, 1].
+    """
+    from ..chaos import scenario_names
+
+    name = rng.choice(scenario_names())
+    severity = rng.choice((0.0, 0.25, 0.5, 0.75, 1.0))
+    seed = rng.randrange(1 << 16)
+    return name, severity, seed

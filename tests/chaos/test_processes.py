@@ -1,0 +1,191 @@
+"""Correlated fault processes: schedules, attribution, the severity knob.
+
+Two properties carry the whole chaos stack:
+
+* the global schedules (regime flips, AZ events, boot waves) are
+  append-only functions of the seed — any query order observes the same
+  prefix, which is what makes executor traces replayable;
+* at severity zero nothing ever touches a stream, the anchor that makes
+  a severity-0 chaos run bit-identical to the fault-free executor.
+"""
+
+import math
+
+import pytest
+
+from repro.chaos import ChaosInjector, ChaosSpec, default_topology
+from repro.cloud.faults import FaultProfile
+from repro.cloud.tenancy import NeighborLoad
+
+
+def make_injector(severity=1.0, seed=0, spec=None, placement=None):
+    return ChaosInjector(
+        spec if spec is not None else ChaosSpec(),
+        severity,
+        default_topology(),
+        placement=placement,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec validation and severity scaling
+# ----------------------------------------------------------------------
+def test_spec_validation_rejects_bad_knobs_by_name():
+    with pytest.raises(ValueError, match="storm_rate_multiplier"):
+        ChaosSpec(storm_rate_multiplier=0.5)
+    with pytest.raises(ValueError, match="dwell means"):
+        ChaosSpec(mean_calm_seconds=0.0)
+    with pytest.raises(ValueError, match="az_reclaim_rate_per_hour"):
+        ChaosSpec(az_reclaim_rate_per_hour=-1.0)
+    with pytest.raises(ValueError, match="boot_wave_prob"):
+        ChaosSpec(boot_wave_prob=1.5)
+    with pytest.raises(ValueError, match="checkpoint_gb"):
+        ChaosSpec(checkpoint_gb=-1.0)
+
+
+def test_effective_profile_scales_rates_linearly():
+    spec = ChaosSpec()
+    full = spec.effective_profile(1.0)
+    half = spec.effective_profile(0.5)
+    zero = spec.effective_profile(0.0)
+    assert full == spec.profile
+    assert half.spot_interrupt_rate_per_hour == pytest.approx(
+        0.5 * full.spot_interrupt_rate_per_hour
+    )
+    assert half.boot_failure_prob == pytest.approx(
+        0.5 * full.boot_failure_prob
+    )
+    # The straggler *multiplier* keeps its full value — only the
+    # probability of being struck scales.
+    assert half.straggler_slowdown == full.straggler_slowdown
+    assert zero.fault_free
+    with pytest.raises(ValueError, match="severity"):
+        spec.effective_profile(1.5)
+
+
+def test_zero_severity_consults_no_streams_and_draws_nothing():
+    injector = make_injector(severity=0.0)
+    assert injector.regime_at(1e6) == "calm"
+    assert injector.next_az_reclaim("us-east-1a", 0.0) == math.inf
+    assert injector.az_reclaims_until(1e6) == []
+    assert injector.in_boot_wave(1e6) is False
+    assert injector.boot_fails("synthesis", 0) is False
+    assert injector.time_to_preemption("synthesis", 0) == math.inf
+    assert injector.straggler_factor("synthesis", 0) == 1.0
+    assert injector._streams == {}
+
+
+# ----------------------------------------------------------------------
+# Schedules: deterministic, append-only, query-order independent
+# ----------------------------------------------------------------------
+def test_regime_schedule_is_query_order_independent():
+    horizon = 8 * 3600.0
+    probes = [0.0, 7200.0, 300.0, horizon, 1800.0]
+    forward = make_injector(seed=13)
+    ordered = {t: forward.regime_at(t) for t in sorted(probes)}
+    scrambled = make_injector(seed=13)
+    assert {t: scrambled.regime_at(t) for t in probes} == ordered
+    # Extending past the horizon must not rewrite the earlier prefix.
+    prefix = list(forward._regime_flips)
+    forward.regime_at(4 * horizon)
+    assert forward._regime_flips[: len(prefix)] == prefix
+
+
+def test_az_events_are_a_seeded_append_only_schedule():
+    spec = ChaosSpec(az_reclaim_rate_per_hour=6.0)
+    a = make_injector(seed=5, spec=spec)
+    b = make_injector(seed=5, spec=spec)
+    horizon = 4 * 3600.0
+    events = a.az_reclaims_until(horizon)
+    assert events, "6/h over 4h should produce reclaim events"
+    assert all(az in default_topology().zones for _, az in events)
+    assert [t for t, _ in events] == sorted(t for t, _ in events)
+    # A zone-targeted query on a fresh injector sees the same schedule.
+    first_for_zone = {}
+    for t, az in events:
+        first_for_zone.setdefault(az, t)
+    for az, t in first_for_zone.items():
+        assert b.next_az_reclaim(az, 0.0) == t
+    assert make_injector(seed=6, spec=spec).az_reclaims_until(
+        horizon
+    ) != events
+
+
+def test_regime_flap_modulates_preemption_draws():
+    calm_spec = ChaosSpec(az_reclaim_rate_per_hour=0.0)
+    flap_spec = ChaosSpec(
+        az_reclaim_rate_per_hour=0.0,
+        storm_rate_multiplier=10.0,
+        mean_calm_seconds=600.0,
+        mean_storm_seconds=300.0,
+    )
+    # Same seed: identical unit-exponential budgets, different hazard
+    # inversion — the flapping world can only preempt sooner or equal.
+    for attempt in range(6):
+        calm = make_injector(seed=21, spec=calm_spec)
+        flap = make_injector(seed=21, spec=flap_spec)
+        assert flap.time_to_preemption(
+            "placement", attempt
+        ) <= calm.time_to_preemption("placement", attempt)
+
+
+# ----------------------------------------------------------------------
+# Attribution
+# ----------------------------------------------------------------------
+def test_az_only_spec_attributes_preemptions_to_the_reclaim():
+    spec = ChaosSpec(
+        profile=FaultProfile.none(), az_reclaim_rate_per_hour=30.0
+    )
+    injector = make_injector(
+        spec=spec, placement={"routing": "us-west-2a"}
+    )
+    delta = injector.time_to_preemption("routing", 0)
+    assert math.isfinite(delta)
+    assert injector.last_preemption_cause == "az_reclaim"
+    assert injector.last_reclaim_az == "us-west-2a"
+    # The returned delta is exactly the next scheduled reclaim of that AZ.
+    assert delta == injector.next_az_reclaim("us-west-2a", 0.0)
+
+
+def test_idiosyncratic_only_spec_attributes_to_the_spot_hazard():
+    spec = ChaosSpec(az_reclaim_rate_per_hour=0.0)
+    injector = make_injector(spec=spec)
+    assert math.isfinite(injector.time_to_preemption("routing", 0))
+    assert injector.last_preemption_cause == "idiosyncratic"
+    assert injector.last_reclaim_az is None
+
+
+# ----------------------------------------------------------------------
+# Noisy regions
+# ----------------------------------------------------------------------
+def test_region_load_scales_the_straggler_factor_with_severity():
+    spec = ChaosSpec(
+        profile=FaultProfile.none(),
+        region_loads={"us-east": NeighborLoad(cpu=0.9, memory_bandwidth=0.9)},
+    )
+    quiet = make_injector(severity=1.0, spec=ChaosSpec(
+        profile=FaultProfile.none()
+    )).straggler_factor("synthesis", 0)
+    loud = make_injector(severity=1.0, spec=spec).straggler_factor(
+        "synthesis", 0
+    )
+    mild = make_injector(severity=0.3, spec=spec).straggler_factor(
+        "synthesis", 0
+    )
+    assert quiet == 1.0
+    assert loud > mild > 1.0
+    # A stage placed outside the loaded region hears nothing.
+    away = make_injector(
+        severity=1.0, spec=spec, placement={"synthesis": "eu-central-1a"}
+    )
+    assert away.straggler_factor("synthesis", 0) == 1.0
+
+
+def test_unlisted_stage_defaults_to_home_first_zone():
+    injector = make_injector(placement={"routing": "eu-central-1b"})
+    assert injector.zone_of("synthesis") == "us-east-1a"
+    assert injector.region_of("synthesis") == "us-east"
+    assert injector.region_of("routing") == "eu-central"
+    with pytest.raises(KeyError, match="unknown availability zone"):
+        make_injector(placement={"sta": "nowhere-9z"})

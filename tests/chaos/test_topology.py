@@ -1,0 +1,135 @@
+"""Region/AZ topology: pricing twins, transfer billing, failover ring.
+
+The home-region identity is the load-bearing property: the home catalog
+is the *same object graph* as the reference catalog, so a zero-severity
+chaos run plans and bills byte-identically to a single-region run.
+"""
+
+import pytest
+
+from repro.chaos import CloudTopology, Region, default_topology
+
+
+def two_region_topology():
+    return CloudTopology(
+        regions=(
+            Region(name="alpha", zones=("alpha-1a", "alpha-1b")),
+            Region(
+                name="beta",
+                zones=("beta-1a",),
+                price_multiplier=1.25,
+                egress_per_gb=0.08,
+            ),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+def test_region_validation_rejects_bad_knobs_by_name():
+    with pytest.raises(ValueError, match="at least one zone"):
+        Region(name="r", zones=())
+    with pytest.raises(ValueError, match="price_multiplier"):
+        Region(name="r", zones=("z",), price_multiplier=0.0)
+    with pytest.raises(ValueError, match="spot_discount"):
+        Region(name="r", zones=("z",), spot_discount=1.5)
+    with pytest.raises(ValueError, match="interrupt_rate_multiplier"):
+        Region(name="r", zones=("z",), interrupt_rate_multiplier=-1.0)
+    with pytest.raises(ValueError, match="egress_per_gb"):
+        Region(name="r", zones=("z",), egress_per_gb=-0.01)
+
+
+def test_duplicate_regions_and_zones_rejected():
+    r = Region(name="alpha", zones=("z1",))
+    with pytest.raises(ValueError, match="duplicate region"):
+        CloudTopology(regions=(r, Region(name="alpha", zones=("z2",))))
+    with pytest.raises(ValueError, match="appears in two regions"):
+        CloudTopology(
+            regions=(r, Region(name="beta", zones=("z1",)))
+        )
+    with pytest.raises(ValueError, match="at least one region"):
+        CloudTopology(regions=())
+
+
+def test_unknown_lookups_raise_keyerror():
+    topo = two_region_topology()
+    with pytest.raises(KeyError, match="unknown region"):
+        topo.region("gamma")
+    with pytest.raises(KeyError, match="unknown availability zone"):
+        topo.region_of("gamma-1a")
+    with pytest.raises(KeyError, match="home region"):
+        CloudTopology(
+            regions=(Region(name="alpha", zones=("z",)),), home="beta"
+        )
+
+
+def test_zone_to_region_mapping():
+    topo = two_region_topology()
+    assert topo.region_of("alpha-1b").name == "alpha"
+    assert topo.region_of("beta-1a").name == "beta"
+    assert topo.zones == ("alpha-1a", "alpha-1b", "beta-1a")
+
+
+# ----------------------------------------------------------------------
+# Pricing: home identity, remote twins
+# ----------------------------------------------------------------------
+def test_home_region_pricing_is_the_identity():
+    topo = two_region_topology()
+    assert topo.catalog_in("alpha") is topo.catalog
+    vm = topo.catalog.options()[0]
+    assert topo.price_in(vm, "alpha") is vm
+
+
+def test_remote_region_mints_suffixed_twins_at_its_multiplier():
+    topo = two_region_topology()
+    vm = topo.catalog.options()[0]
+    twin = topo.price_in(vm, "beta")
+    assert twin.name == f"{vm.name}@beta"
+    assert twin.price_per_hour == pytest.approx(vm.price_per_hour * 1.25)
+    # Shape is preserved — only name and rate change.
+    assert twin.vcpus == vm.vcpus
+    catalog = topo.catalog_in("beta")
+    assert all(
+        inst.name.endswith("@beta") for inst in catalog.options()
+    )
+
+
+def test_spot_market_applies_region_interrupt_multiplier():
+    topo = default_topology()
+    home = topo.spot_market("us-east", interrupt_rate_per_hour=3.0)
+    eu = topo.spot_market("eu-central", interrupt_rate_per_hour=3.0)
+    # eu-central declares a 0.6 interrupt multiplier in default_topology.
+    assert eu.interrupt_rate_per_hour == pytest.approx(
+        0.6 * home.interrupt_rate_per_hour
+    )
+
+
+# ----------------------------------------------------------------------
+# Transfers and failover
+# ----------------------------------------------------------------------
+def test_intra_region_transfer_is_free_cross_region_bills_src_egress():
+    topo = two_region_topology()
+    assert topo.transfer_cost("alpha", "alpha", 100.0) == 0.0
+    assert topo.transfer_cost("alpha", "beta", 10.0) == pytest.approx(
+        0.02 * 10.0
+    )
+    # Egress is billed at the *source* rate — asymmetric by design.
+    assert topo.transfer_cost("beta", "alpha", 10.0) == pytest.approx(
+        0.08 * 10.0
+    )
+    with pytest.raises(ValueError, match="non-negative"):
+        topo.transfer_cost("alpha", "beta", -1.0)
+
+
+def test_failover_ring_walks_declaration_order_and_wraps():
+    topo = default_topology()
+    ring = [topo.home]
+    for _ in range(len(topo.regions)):
+        ring.append(topo.failover_target(ring[-1]))
+    assert ring == ["us-east", "us-west", "eu-central", "us-east"]
+
+
+def test_single_region_topology_fails_over_to_itself():
+    topo = CloudTopology(regions=(Region(name="solo", zones=("z",)),))
+    assert topo.failover_target("solo") == "solo"

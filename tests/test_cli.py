@@ -116,7 +116,7 @@ class TestVerifyCommand:
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 9 oracles, 90 trials, 0 violations" in out
+        assert "PASS: 10 oracles, 100 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])

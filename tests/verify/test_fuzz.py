@@ -46,6 +46,7 @@ class TestDriver:
             "chaos",
             "obs",
             "service",
+            "scenario",
         ]
 
     def test_oracle_subset(self):
