@@ -44,6 +44,11 @@ Exposes the paper's workflow as terminal commands:
 * ``repro submit``       — one-shot request against a fresh service
   instance; prints the structured job (or typed error) document as
   JSON, mirroring what a network client of the service would receive.
+* ``repro fleet``        — fleet-scale capacity planning: batch-plan a
+  seeded synthetic fleet (exact DP with table reuse, or the certified
+  greedy approximation), optionally drive spot-market ticks with
+  mid-flight re-planning, print amortization stats and throughput, and
+  write a byte-stable plan dump (CI plans twice and ``cmp``'s).
 
 Each command prints through :mod:`repro.core.report`, so outputs have the
 same rows/series as the paper's tables and figures.
@@ -166,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-dir", default=None, metavar="DIR",
         help="where failing trials write flight-recorder dumps "
         "(default: $REPRO_CRASH_DIR or benchmarks/runs/crashes)",
+    )
+    p_ver.add_argument(
+        "--corpus", default=None, metavar="FILE",
+        help="replay every recorded (oracle, seed) entry in this corpus "
+        "file instead of fuzzing; non-zero exit if any regresses",
+    )
+    p_ver.add_argument(
+        "--record-corpus", default=None, metavar="FILE",
+        help="append failing trials' (oracle, seed) pairs to this replay "
+        "corpus (tests/verify/corpus.txt replays in tier-1)",
     )
 
     p_exec = sub.add_parser(
@@ -492,7 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--kind", default="execute",
-        help="job kind: flow, plan, execute, pipeline, sleep",
+        help="job kind: flow, plan, execute, pipeline, sleep, fleet",
     )
     p_submit.add_argument("--design", default="ctrl")
     p_submit.add_argument("--scale", type=float, default=0.3)
@@ -507,6 +522,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="MCKP deadline for plan/execute/pipeline kinds",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="batch-plan a seeded synthetic fleet (table-reuse DP or "
+        "certified approximation), optionally under spot-market ticks",
+    )
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--flows", type=int, default=10000, help="fleet size (default: 10000)"
+    )
+    p_fleet.add_argument(
+        "--menus", type=int, default=16,
+        help="distinct shared stage menus (default: 16)",
+    )
+    p_fleet.add_argument(
+        "--deadline-buckets", type=int, default=8,
+        help="deadline SLA tiers per menu (default: 8)",
+    )
+    p_fleet.add_argument(
+        "--mode", choices=["exact", "approx"], default="exact",
+        help="exact DP with table reuse, or the certified-gap greedy "
+        "approximation (default: exact)",
+    )
+    p_fleet.add_argument(
+        "--no-prune", action="store_true",
+        help="disable dominance pruning of stage options",
+    )
+    p_fleet.add_argument(
+        "--ticks", type=int, default=0, metavar="N",
+        help="drive N spot-market ticks with re-planning between them "
+        "(default: 0 = a single static plan)",
+    )
+    p_fleet.add_argument(
+        "--execute-per-tick", type=int, default=0, metavar="N",
+        help="with --ticks: run N pending flows per tick through the "
+        "fault-injecting executor",
+    )
+    p_fleet.add_argument(
+        "--dump", default=None, metavar="FILE",
+        help="write the byte-stable plan (or session) dump here — the "
+        "same seed always produces identical bytes (CI cmp's two runs)",
+    )
+    p_fleet.add_argument(
+        "--min-throughput", type=float, default=None, metavar="FLOWS_PER_S",
+        help="exit non-zero when planning throughput falls below this",
     )
     return parser
 
@@ -610,6 +671,27 @@ def _cmd_verify(args) -> int:
             print(name)
         return 0
     dump_dir = args.dump_dir if args.dump_dir else default_crash_dir()
+    if args.corpus is not None:
+        from .verify import load_corpus, replay_entry
+
+        try:
+            entries = load_corpus(args.corpus)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        failed = 0
+        for entry in entries:
+            messages = replay_entry(entry)
+            status = "ok" if not messages else "FAIL"
+            print(f"corpus {entry.oracle}@{entry.seed}: {status}")
+            for message in messages:
+                print(f"  {message}")
+            failed += 1 if messages else 0
+        print(
+            f"{'FAIL' if failed else 'PASS'}: {len(entries)} corpus "
+            f"entries, {failed} regressed"
+        )
+        return 1 if failed else 0
     if args.replay_seed is not None:
         if not args.oracle or len(args.oracle) != 1:
             print("--replay-seed requires exactly one --oracle", file=sys.stderr)
@@ -637,6 +719,7 @@ def _cmd_verify(args) -> int:
             trials=args.trials,
             seed=args.seed,
             dump_dir=dump_dir,
+            corpus_path=args.record_corpus,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -1210,6 +1293,92 @@ def _cmd_submit(args) -> int:
     return 0 if job.state.value == "done" else 1
 
 
+def _cmd_fleet(args) -> int:
+    import time as _time
+
+    from .fleet import (
+        ContinuousSession,
+        FleetPlanner,
+        SpotMarketFeed,
+        synthetic_fleet,
+    )
+
+    if args.flows < 1 or args.menus < 1 or args.deadline_buckets < 1:
+        print(
+            "--flows, --menus, and --deadline-buckets must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ticks < 0 or args.execute_per_tick < 0:
+        print(
+            "--ticks and --execute-per-tick must be >= 0", file=sys.stderr
+        )
+        return 2
+    menus, flows = synthetic_fleet(
+        seed=args.seed,
+        flows=args.flows,
+        menus=args.menus,
+        deadline_buckets=args.deadline_buckets,
+    )
+    planner = FleetPlanner(mode=args.mode, prune=not args.no_prune)
+
+    if args.ticks:
+        session = ContinuousSession(
+            menus,
+            flows,
+            feed=SpotMarketFeed(seed=args.seed),
+            planner=planner,
+            seed=args.seed,
+            execute_per_tick=args.execute_per_tick,
+        )
+        report = session.run(args.ticks)
+        dump = report.dump()
+        print(dump, end="")
+        plan = report.final_plan
+        stats = plan.stats
+        throughput = None
+    else:
+        for menu_id in sorted(menus):
+            planner.register_menu(menu_id, menus[menu_id])
+        started = _time.perf_counter()
+        plan = planner.plan(flows)
+        elapsed = _time.perf_counter() - started
+        stats = plan.stats
+        throughput = stats.flows / elapsed if elapsed > 0 else 0.0
+        dump = plan.dump()
+        print(dump.splitlines()[0])
+
+    print(
+        f"fleet seed={args.seed} mode={args.mode}: {stats.flows} flows in "
+        f"{stats.groups} groups ({stats.group_hits} amortized hits, "
+        f"{stats.tables_built} tables built, {stats.approx_solves} approx "
+        f"solves, {stats.pruned_options} options pruned)"
+    )
+    print(
+        f"  feasible {stats.feasible_flows} / infeasible "
+        f"{stats.infeasible_flows}; total cost ${plan.total_cost:.4f}; "
+        f"max certified gap {plan.max_certified_gap:.6f}"
+    )
+    if throughput is not None:
+        print(f"  planned {throughput:,.0f} flows/sec")
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(dump)
+        print(f"plan dump written to {args.dump}")
+    if (
+        args.min_throughput is not None
+        and throughput is not None
+        and throughput < args.min_throughput
+    ):
+        print(
+            f"FAIL: throughput {throughput:,.0f} flows/sec below "
+            f"--min-throughput {args.min_throughput:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     print(f"{'name':<14} {'kind':<12} note")
     for name in benchmarks.all_names():
@@ -1233,6 +1402,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -37,9 +37,14 @@ __all__ = [
     "ConfigOption",
     "StageOptions",
     "Selection",
+    "MCKPTable",
+    "ApproxResult",
     "build_stage_options",
+    "prune_dominated",
+    "prune_stage_options",
     "solve_mckp_dp",
     "solve_min_cost_dp",
+    "solve_approx",
     "solve_brute_force",
     "enumerate_feasible",
     "selection_objective",
@@ -177,6 +182,84 @@ def solve_min_cost_dp(
     return _solve_dp(stages, deadline_seconds, maximize_inverse_price=False)
 
 
+class MCKPTable:
+    """A solved DP table reusable across every deadline up to its capacity.
+
+    The DP recurrence indexes states by *exact* total runtime ``c`` and
+    only ever reads states at strictly smaller ``c``, so the table built
+    to capacity ``C`` contains, as a prefix, exactly the table a fresh
+    solve at any ``d <= C`` would build — option iteration order, cell
+    tie-breaking, and backtracking included.  :meth:`query` therefore
+    returns a selection *identical* (same option objects, same
+    tie-breaks) to ``solve_mckp_dp(stages, d)``, which is the invariant
+    the fleet planner's table reuse rests on and the ``fleet`` oracle
+    fuzzes.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageOptions],
+        capacity_seconds: float,
+        maximize_inverse_price: bool = True,
+    ):
+        self.stages = list(stages)
+        self.capacity = _check_deadline(self.stages, capacity_seconds)
+        self.maximize_inverse_price = maximize_inverse_price
+        neg_inf = float("-inf")
+
+        # value[c] = best objective over all stages with total time exactly
+        # c; choices[l][c] backtracks stage l's option index at state c.
+        value = [0.0 if c == 0 else neg_inf for c in range(self.capacity + 1)]
+        choices: List[List[int]] = []
+        for stage_opts in self.stages:
+            new_value = [neg_inf] * (self.capacity + 1)
+            new_choice = [-1] * (self.capacity + 1)
+            for j, opt in enumerate(stage_opts.options):
+                t = opt.runtime_seconds
+                gain = (
+                    opt.inverse_price if maximize_inverse_price else -opt.price
+                )
+                for c in range(t, self.capacity + 1):
+                    prev = value[c - t]
+                    if prev == neg_inf:
+                        continue
+                    candidate = prev + gain
+                    if candidate > new_value[c]:
+                        new_value[c] = candidate
+                        new_choice[c] = j
+            value = new_value
+            choices.append(new_choice)
+        self._value = value
+        self._choices = choices
+
+    def query(self, deadline_seconds: float) -> Optional[Selection]:
+        """The optimal selection under any deadline ``<=`` the capacity."""
+        capacity = _check_deadline(self.stages, deadline_seconds)
+        if capacity > self.capacity:
+            raise ValueError(
+                f"deadline {capacity} exceeds table capacity {self.capacity}"
+            )
+        if not self.stages:
+            return Selection()
+        neg_inf = float("-inf")
+        value = self._value
+        best_c = max(range(capacity + 1), key=lambda c: value[c], default=0)
+        if value[best_c] == neg_inf:
+            return None
+
+        # Backtrack.
+        selection = Selection()
+        c = best_c
+        for stage_idx in range(len(self.stages) - 1, -1, -1):
+            j = self._choices[stage_idx][c]
+            if j < 0:
+                return None
+            opt = self.stages[stage_idx].options[j]
+            selection.choices[self.stages[stage_idx].stage] = opt
+            c -= opt.runtime_seconds
+        return selection
+
+
 def _solve_dp(
     stages: Sequence[StageOptions],
     deadline_seconds: float,
@@ -184,48 +267,8 @@ def _solve_dp(
 ) -> Optional[Selection]:
     if not stages:
         return Selection()
-    capacity = _check_deadline(stages, deadline_seconds)
-    neg_inf = float("-inf")
-
-    # value[c] = best objective over the stages processed so far with total
-    # time exactly c; choices[l][c] backtracks the option index.
-    value = [0.0 if c == 0 else neg_inf for c in range(capacity + 1)]
-    choices: List[List[int]] = []
-
-    for stage_opts in stages:
-        new_value = [neg_inf] * (capacity + 1)
-        new_choice = [-1] * (capacity + 1)
-        for j, opt in enumerate(stage_opts.options):
-            t = opt.runtime_seconds
-            gain = opt.inverse_price if maximize_inverse_price else -opt.price
-            for c in range(t, capacity + 1):
-                prev = value[c - t]
-                if prev == neg_inf:
-                    continue
-                candidate = prev + gain
-                if candidate > new_value[c]:
-                    new_value[c] = candidate
-                    new_choice[c] = j
-        value = new_value
-        choices.append(new_choice)
-
-    best_c = max(
-        range(capacity + 1), key=lambda c: value[c], default=0
-    )
-    if value[best_c] == neg_inf:
-        return None
-
-    # Backtrack.
-    selection = Selection()
-    c = best_c
-    for stage_idx in range(len(stages) - 1, -1, -1):
-        j = choices[stage_idx][c]
-        if j < 0:
-            return None
-        opt = stages[stage_idx].options[j]
-        selection.choices[stages[stage_idx].stage] = opt
-        c -= opt.runtime_seconds
-    return selection
+    table = MCKPTable(stages, deadline_seconds, maximize_inverse_price)
+    return table.query(deadline_seconds)
 
 
 def selection_objective(
@@ -241,6 +284,175 @@ def selection_objective(
     if maximize_inverse_price:
         return selection.objective_inverse_price
     return selection.total_cost
+
+
+def prune_dominated(options: Sequence[ConfigOption]) -> List[ConfigOption]:
+    """Drop IP-dominated options; survivors keep their original order.
+
+    Option ``b`` is dominated when some ``a`` is no slower *and* no more
+    expensive (strictly better on at least one axis; exact ``(runtime,
+    price)`` duplicates keep the earliest).  A dominator is at least as
+    good under both DP objectives — swapping it in never lengthens the
+    schedule, never raises cost, and never lowers ``1/p`` — so pruning
+    preserves the optimum of both ``solve_mckp_dp`` and
+    ``solve_min_cost_dp`` exactly (the fleet property suite asserts it).
+    """
+    survivors: List[ConfigOption] = []
+    for i, opt in enumerate(options):
+        dominated = False
+        for j, other in enumerate(options):
+            if j == i:
+                continue
+            if (
+                other.runtime_seconds <= opt.runtime_seconds
+                and other.price <= opt.price
+                and (
+                    other.runtime_seconds < opt.runtime_seconds
+                    or other.price < opt.price
+                    or j < i
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(opt)
+    return survivors
+
+
+def prune_stage_options(
+    stages: Sequence[StageOptions],
+) -> Tuple[List[StageOptions], int]:
+    """Dominance-prune every stage menu; returns ``(stages, removed)``."""
+    removed = 0
+    out: List[StageOptions] = []
+    for stage_opts in stages:
+        kept = prune_dominated(stage_opts.options)
+        removed += len(stage_opts.options) - len(kept)
+        out.append(
+            stage_opts
+            if len(kept) == len(stage_opts.options)
+            else StageOptions(stage=stage_opts.stage, options=kept)
+        )
+    return out, removed
+
+
+def _lp_frontier(options: Sequence[ConfigOption]) -> List[ConfigOption]:
+    """The convex (runtime, 1/p) frontier of one stage menu.
+
+    IP-pruned survivors sorted by runtime have strictly increasing
+    runtime and strictly increasing value, so incremental efficiencies
+    are well defined; the upper concave hull (Sinha-Zoltners) keeps the
+    points the MCKP LP relaxation can mix, which is what makes the
+    greedy walk's fractional stopping value a true upper bound.
+    """
+    pruned = sorted(
+        prune_dominated(options), key=lambda o: (o.runtime_seconds, o.price)
+    )
+    hull: List[ConfigOption] = []
+    for opt in pruned:
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            eff_ab = (b.inverse_price - a.inverse_price) / (
+                b.runtime_seconds - a.runtime_seconds
+            )
+            eff_bo = (opt.inverse_price - b.inverse_price) / (
+                opt.runtime_seconds - b.runtime_seconds
+            )
+            if eff_ab <= eff_bo:
+                hull.pop()
+            else:
+                break
+        hull.append(opt)
+    return hull
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """A feasible approximate selection with a certified optimality gap.
+
+    ``upper_bound`` is the MCKP LP-relaxation optimum (greedy hull walk
+    with a fractional final step), so ``objective <= exact optimum <=
+    upper_bound`` up to float rounding, and :attr:`certified_gap` always
+    dominates the true gap — the ``fleet`` oracle fuzzes this against
+    the exact DP.
+    """
+
+    selection: Selection
+    objective: float
+    upper_bound: float
+
+    @property
+    def certified_gap(self) -> float:
+        """Certified bound on ``optimum - objective`` (never negative)."""
+        return max(0.0, self.upper_bound - self.objective)
+
+
+def solve_approx(
+    stages: Sequence[StageOptions], deadline_seconds: float
+) -> Optional[ApproxResult]:
+    """Fast certified approximation of the paper's MCKP objective.
+
+    Classic MCKP greedy over the LP frontier: start every stage at its
+    lightest frontier option, then buy upgrades in globally decreasing
+    incremental efficiency (``Δ(1/p)/Δt``) while they fit.  The first
+    upgrade that does *not* fit fixes the LP optimum ``value +
+    remaining * efficiency`` — an upper bound on the integer optimum —
+    after which the walk keeps taking cheaper upgrades that still fit.
+    Runs in ``O(n log n)`` for ``n`` total options versus the DP's
+    ``O(n * deadline)``, and returns ``None`` exactly when the DP would
+    (both detect infeasibility as "fastest everywhere still misses the
+    deadline").
+    """
+    capacity = _check_deadline(stages, deadline_seconds)
+    if not stages:
+        return ApproxResult(selection=Selection(), objective=0.0, upper_bound=0.0)
+    fronts = [_lp_frontier(s.options) for s in stages]
+    base_runtime = sum(f[0].runtime_seconds for f in fronts)
+    if base_runtime > capacity:
+        return None
+
+    levels = [0] * len(fronts)
+    value = sum(f[0].inverse_price for f in fronts)
+    remaining = capacity - base_runtime
+
+    # (negated efficiency, stage index, hull level, dt, dv), globally
+    # sorted; ties resolved by stage then level so the walk is
+    # deterministic and same-stage steps stay in hull order.
+    steps: List[Tuple[float, int, int, int, float]] = []
+    for si, front in enumerate(fronts):
+        for k in range(1, len(front)):
+            dt = front[k].runtime_seconds - front[k - 1].runtime_seconds
+            dv = front[k].inverse_price - front[k - 1].inverse_price
+            steps.append((-dv / dt, si, k, dt, dv))
+    steps.sort(key=lambda s: (s[0], s[1], s[2]))
+
+    upper_bound: Optional[float] = None
+    for neg_eff, si, k, dt, dv in steps:
+        if levels[si] != k - 1:
+            continue  # an earlier hull step of this stage did not fit
+        if dt <= remaining:
+            remaining -= dt
+            value += dv
+            levels[si] = k
+        elif upper_bound is None:
+            upper_bound = value + remaining * (-neg_eff)
+
+    selection = Selection(
+        choices={
+            stages[si].stage: fronts[si][levels[si]]
+            for si in range(len(fronts))
+        }
+    )
+    objective = selection.objective_inverse_price
+    if upper_bound is None:
+        # Every hull top was bought: each stage sits at its maximum
+        # value, so no selection (dominated or not) can do better.
+        upper_bound = objective
+    return ApproxResult(
+        selection=selection,
+        objective=objective,
+        upper_bound=max(upper_bound, objective),
+    )
 
 
 def enumerate_feasible(

@@ -73,6 +73,15 @@ DETERMINISTIC_METRICS: Tuple[str, ...] = (
     "chaos.scenario.sim_seconds",
     "chaos.scenario.overrun_time",
     "chaos.scenario.overrun_cost",
+    # Fleet planner: a plan is an exact function of (seed, fleet shape).
+    # Wall-clock throughput lives in the bench doc's "fleet" block, not
+    # in the gauge registry, so every fleet gauge is drift-gated.
+    "bench.fleet.planned_flows",
+    "bench.fleet.feasible_flows",
+    "bench.fleet.groups",
+    "bench.fleet.pruned_options",
+    "bench.fleet.total_cost",
+    "bench.fleet.max_certified_gap",
 )
 
 #: Robust-z threshold for MAD outlier flags.

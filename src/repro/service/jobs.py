@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 #: Pipeline kinds the default runner understands (see ``runners.py``).
-JOB_KINDS = ("flow", "plan", "execute", "pipeline", "sleep")
+JOB_KINDS = ("flow", "plan", "execute", "pipeline", "sleep", "fleet")
 
 
 class JobState(enum.Enum):

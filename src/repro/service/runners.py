@@ -1,6 +1,6 @@
 """Job runners: map a job kind onto the characterize/plan/execute pipeline.
 
-The default :class:`PipelineRunner` understands five kinds:
+The default :class:`PipelineRunner` understands six kinds:
 
 * ``flow``     — run the four-stage flow, record the modelled runtime
   grid (the characterization step);
@@ -13,7 +13,11 @@ The default :class:`PipelineRunner` understands five kinds:
   checkpoints between stages;
 * ``sleep``    — ``params["steps"]`` checkpoint rounds with no real
   work: the churn kind the cancellation/timeout/slot-leak property
-  tests hammer 1k times.
+  tests hammer 1k times;
+* ``fleet``    — plan a seeded synthetic fleet
+  (:func:`~repro.fleet.synthetic_fleet` sized by ``params``) through a
+  batched :class:`~repro.fleet.FleetPlanner`; returns the amortization
+  stats and fleet totals.
 
 Flow results are memoized on ``(design, scale, flow_seed)`` — many jobs
 in one session characterize the same design, and the flow is by far the
@@ -66,6 +70,7 @@ class PipelineRunner:
             "execute": self._run_execute,
             "pipeline": self._run_pipeline,
             "sleep": self._run_sleep,
+            "fleet": self._run_fleet,
         }.get(kind)
         if handler is None:
             raise InvalidRequestError(f"unknown job kind {kind!r}", kind=kind)
@@ -228,3 +233,48 @@ class PipelineRunner:
             ctx.checkpoint()
             done += 1
         return {"kind": "sleep", "steps": done}
+
+    def _run_fleet(self, job: Job, ctx: JobContext) -> dict:
+        from ..fleet import FleetPlanner, synthetic_fleet
+
+        params = job.request.params
+        flows = int(params.get("flows", 2000))
+        menus = int(params.get("menus", 8))
+        mode = params.get("mode", "approx")
+        if flows < 1 or menus < 1:
+            raise InvalidRequestError(
+                f"fleet flows/menus must be >= 1, got {flows}/{menus}",
+                flows=flows,
+                menus=menus,
+            )
+        if mode not in ("exact", "approx"):
+            raise InvalidRequestError(
+                f"fleet mode must be 'exact' or 'approx', got {mode!r}",
+                mode=mode,
+            )
+        menu_map, specs = synthetic_fleet(
+            seed=job.request.seed, flows=flows, menus=menus
+        )
+        ctx.checkpoint()
+        planner = FleetPlanner(mode=mode)
+        for menu_id in sorted(menu_map):
+            planner.register_menu(menu_id, menu_map[menu_id])
+        plan = planner.plan(specs)
+        ctx.checkpoint()
+        metrics = get_metrics()
+        metrics.gauge("service.fleet.total_cost").set(plan.total_cost)
+        metrics.gauge("service.fleet.feasible_flows").set(
+            plan.stats.feasible_flows
+        )
+        return {
+            "kind": "fleet",
+            "mode": mode,
+            "flows": plan.stats.flows,
+            "feasible_flows": plan.stats.feasible_flows,
+            "infeasible_flows": plan.stats.infeasible_flows,
+            "groups": plan.stats.groups,
+            "group_hits": plan.stats.group_hits,
+            "pruned_options": plan.stats.pruned_options,
+            "total_cost": plan.total_cost,
+            "max_certified_gap": plan.max_certified_gap,
+        }

@@ -10,6 +10,16 @@ fuzzer (:mod:`repro.verify.fuzz`) whose failures replay from a printed
 seed.  The ``repro verify`` CLI subcommand wires it into CI.
 """
 
+from .corpus import (
+    DEFAULT_CORPUS_PATH,
+    CorpusEntry,
+    append_failures,
+    format_entry,
+    load_corpus,
+    parse_corpus,
+    replay_corpus,
+    replay_entry,
+)
 from .fuzz import (
     ORACLES,
     FuzzFailure,
@@ -25,6 +35,7 @@ from .oracles import (
     cut_function_violations,
     execution_violations,
     exhaustive_output_tables,
+    fleet_violations,
     mckp_violations,
     node_value_words,
     obs_violations,
@@ -36,9 +47,17 @@ from .oracles import (
 
 __all__ = [
     "ORACLES",
+    "DEFAULT_CORPUS_PATH",
+    "CorpusEntry",
     "FuzzFailure",
     "FuzzReport",
     "OracleReport",
+    "append_failures",
+    "format_entry",
+    "load_corpus",
+    "parse_corpus",
+    "replay_corpus",
+    "replay_entry",
     "run_fuzz",
     "run_trial",
     "trial_seed",
@@ -47,6 +66,7 @@ __all__ = [
     "cut_function_violations",
     "execution_violations",
     "exhaustive_output_tables",
+    "fleet_violations",
     "mckp_violations",
     "node_value_words",
     "obs_violations",

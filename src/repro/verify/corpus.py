@@ -1,0 +1,149 @@
+"""Seeded replay corpus: past fuzz failures become permanent tests.
+
+A corpus file is a plain text list of ``oracle:seed`` lines (``#``
+comments and blank lines allowed).  When ``repro verify`` runs with
+``--record-corpus``, every failing trial's ``(oracle, trial seed)`` pair
+is appended — deduplicated — to the corpus, and the tier-1 suite
+(``tests/verify/test_corpus.py``) replays each entry as an ordinary
+parametrized pytest case.  An oracle failure thus only ever has to be
+found once: from then on it is a regression test, independent of which
+base seed or trial count future fuzz runs use.
+
+The file format is deliberately line-oriented and mergeable: appends are
+sorted and idempotent, so concurrent CI jobs or stacked branches adding
+entries produce clean diffs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "CorpusEntry",
+    "parse_corpus",
+    "load_corpus",
+    "format_entry",
+    "append_failures",
+    "replay_entry",
+    "replay_corpus",
+    "DEFAULT_CORPUS_PATH",
+]
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_PATH = os.path.join("tests", "verify", "corpus.txt")
+
+_HEADER = (
+    "# repro verify replay corpus — one failing (oracle, seed) per line.\n"
+    "# Replayed as tier-1 pytest cases; append via "
+    "`repro verify --record-corpus`.\n"
+)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One recorded failure: the oracle and the exact trial seed."""
+
+    oracle: str
+    seed: int
+
+    def __str__(self) -> str:
+        return format_entry(self.oracle, self.seed)
+
+
+def format_entry(oracle: str, seed: int) -> str:
+    """The canonical one-line rendering of a corpus entry."""
+    return f"{oracle}:{seed}"
+
+
+def parse_corpus(text: str) -> List[CorpusEntry]:
+    """Parse corpus text into entries; raises with line numbers on junk."""
+    entries: List[CorpusEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        oracle, sep, seed_text = line.partition(":")
+        oracle = oracle.strip()
+        if not sep or not oracle:
+            raise ValueError(
+                f"corpus line {lineno}: expected 'oracle:seed', got {raw!r}"
+            )
+        try:
+            seed = int(seed_text.strip())
+        except ValueError:
+            raise ValueError(
+                f"corpus line {lineno}: seed {seed_text.strip()!r} "
+                f"is not an integer"
+            ) from None
+        if seed < 0:
+            raise ValueError(f"corpus line {lineno}: seed must be >= 0")
+        entries.append(CorpusEntry(oracle=oracle, seed=seed))
+    return entries
+
+
+def load_corpus(path: str = DEFAULT_CORPUS_PATH) -> List[CorpusEntry]:
+    """Load a corpus file; a missing file is an empty corpus."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_corpus(handle.read())
+
+
+def append_failures(
+    path: str,
+    failures: Iterable[Union[CorpusEntry, Tuple[str, int], object]],
+) -> int:
+    """Append failing ``(oracle, seed)`` pairs to a corpus, deduplicated.
+
+    Accepts :class:`CorpusEntry`, plain ``(oracle, seed)`` tuples, or any
+    object with ``.oracle`` / ``.seed`` attributes (e.g. a
+    :class:`~repro.verify.fuzz.FuzzFailure`).  Existing entries are kept
+    verbatim; new ones are appended sorted.  Returns how many entries
+    were actually added (0 means the file is untouched).
+    """
+    incoming: List[CorpusEntry] = []
+    for item in failures:
+        if isinstance(item, CorpusEntry):
+            incoming.append(item)
+        elif isinstance(item, tuple):
+            oracle, seed = item
+            incoming.append(CorpusEntry(oracle=str(oracle), seed=int(seed)))
+        else:
+            incoming.append(
+                CorpusEntry(oracle=str(item.oracle), seed=int(item.seed))
+            )
+    known = set(load_corpus(path))
+    fresh = sorted(
+        {e for e in incoming if e not in known},
+        key=lambda e: (e.oracle, e.seed),
+    )
+    if not fresh:
+        return 0
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    new_file = not os.path.exists(path)
+    with open(path, "a", encoding="utf-8") as handle:
+        if new_file:
+            handle.write(_HEADER)
+        for entry in fresh:
+            handle.write(format_entry(entry.oracle, entry.seed) + "\n")
+    return len(fresh)
+
+
+def replay_entry(entry: CorpusEntry) -> List[str]:
+    """Re-run one corpus entry; returns its oracle's violation messages.
+
+    An empty list means the historical failure stays fixed.  Imports the
+    fuzz driver lazily (the driver imports this module for recording).
+    """
+    from .fuzz import run_trial
+
+    return run_trial(entry.oracle, entry.seed)
+
+
+def replay_corpus(path: str = DEFAULT_CORPUS_PATH) -> List[Tuple[CorpusEntry, List[str]]]:
+    """Replay every corpus entry; returns ``(entry, violations)`` pairs."""
+    return [(entry, replay_entry(entry)) for entry in load_corpus(path)]

@@ -31,7 +31,7 @@ from ..obs import (
     scoped,
 )
 from ..obs.log import build_crash_report, crash_scope, write_crash_report
-from . import generators, oracles
+from . import corpus, generators, oracles
 
 __all__ = [
     "ORACLES",
@@ -112,6 +112,11 @@ def _scenario_trial(rng: random.Random) -> List[str]:
     return oracles.chaos_scenario_violations(name, severity, seed)
 
 
+def _fleet_trial(rng: random.Random) -> List[str]:
+    menus, flows = generators.random_fleet_case(rng)
+    return oracles.fleet_violations(menus, flows)
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -124,6 +129,7 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "obs": _obs_trial,
     "service": _service_trial,
     "scenario": _scenario_trial,
+    "fleet": _fleet_trial,
 }
 
 
@@ -272,6 +278,7 @@ def run_fuzz(
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
     dump_dir: Optional[str] = None,
+    corpus_path: Optional[str] = None,
 ) -> FuzzReport:
     """Run ``trials`` seeded trials for each selected oracle.
 
@@ -290,6 +297,10 @@ def run_fuzz(
         forensics dump (:func:`dump_trial_forensics`) into this
         directory, and the report prints the dump path next to the
         replay seed.
+    corpus_path:
+        When set, every failing trial's ``(oracle, seed)`` is appended
+        (deduplicated) to this replay corpus, so the failure becomes a
+        permanent tier-1 regression case (see :mod:`repro.verify.corpus`).
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -339,4 +350,13 @@ def run_fuzz(
             if progress is not None:
                 status = "ok" if oracle_report.ok else "FAIL"
                 progress(f"oracle {name}: {trials} trials {status}")
+    if corpus_path is not None:
+        failures = [f for o in report.oracles for f in o.failures]
+        if failures:
+            added = corpus.append_failures(corpus_path, failures)
+            if progress is not None and added:
+                progress(
+                    f"recorded {added} new corpus entr"
+                    f"{'y' if added == 1 else 'ies'} in {corpus_path}"
+                )
     return report

@@ -40,6 +40,7 @@ __all__ = [
     "random_chaos_params",
     "random_service_case",
     "random_scenario_case",
+    "random_fleet_case",
 ]
 
 #: Synthesis pass pool used by :func:`random_recipe`.
@@ -299,6 +300,45 @@ def random_service_case(rng: random.Random):
             )
         )
     return requests, workers, depth
+
+
+def random_fleet_case(rng: random.Random):
+    """One fleet fuzz case: ``(menus, flows)`` for the fleet oracle.
+
+    A handful of shared menus (reusing :func:`random_mckp_instance`, so
+    each stays brute-force checkable) and a small flow population whose
+    deadlines span the infeasible / tight / slack regimes of their menu
+    — including duplicate ``(menu, deadline)`` pairs so the group-cache
+    path is exercised, not just the solver.
+    """
+    from ..fleet import FlowSpec
+
+    menus = {}
+    spans = {}
+    for m in range(rng.randint(1, 3)):
+        menu_id = f"fm{m}"
+        stages, _ = random_mckp_instance(rng)
+        menus[menu_id] = stages
+        fastest = sum(
+            min(o.runtime_seconds for o in s.options) for s in stages
+        )
+        slowest = sum(
+            max(o.runtime_seconds for o in s.options) for s in stages
+        )
+        spans[menu_id] = (max(1, fastest - 5), slowest + 10)
+    menu_ids = sorted(menus)
+    flows = []
+    for i in range(rng.randint(2, 6)):
+        menu_id = rng.choice(menu_ids)
+        lo, hi = spans[menu_id]
+        flows.append(
+            FlowSpec(
+                flow_id=f"ff{i}",
+                menu_id=menu_id,
+                deadline_seconds=float(rng.randint(lo, hi)),
+            )
+        )
+    return menus, flows
 
 
 def random_scenario_case(rng: random.Random):

@@ -40,9 +40,12 @@ from ..cloud.faults import FaultProfile
 from ..cloud.provisioner import DeploymentPlan
 from ..cloud.spot import spot_expected_runtime
 from ..core.optimize import (
+    MCKPTable,
     Selection,
     StageOptions,
+    prune_stage_options,
     selection_objective,
+    solve_approx,
     solve_brute_force,
     solve_greedy,
     solve_mckp_dp,
@@ -69,6 +72,7 @@ __all__ = [
     "obs_violations",
     "service_violations",
     "chaos_scenario_violations",
+    "fleet_violations",
 ]
 
 #: Relative tolerance for floating-point objective comparisons.
@@ -952,4 +956,200 @@ def chaos_scenario_violations(
             f"scenario: {name} seed={seed} non-terminal storm jobs: "
             f"{non_terminal}"
         )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fleet planner: table reuse, pruning, certified approximation
+# ----------------------------------------------------------------------
+def _choice_map(selection: Selection):
+    return {
+        stage.value: (opt.vm.name, opt.runtime_seconds)
+        for stage, opt in selection.choices.items()
+    }
+
+
+def fleet_violations(menus, flows) -> List[str]:
+    """Audit every fleet amortization against fresh exact solves.
+
+    * **dominance pruning** — for every ``(menu, deadline)`` a flow
+      prices, the DP on the pruned menu agrees with the DP on the raw
+      menu: same feasibility, and both the inverse-price and the
+      min-cost objectives match within :data:`REL_TOL` (alternate
+      optimal selections may differ; optima may not);
+    * **table reuse** — one :class:`~repro.core.optimize.MCKPTable`
+      built at a menu's *largest* deadline answers every smaller
+      deadline with the *identical* selection a fresh
+      :func:`~repro.core.optimize.solve_mckp_dp` call returns (exact
+      choice-by-choice identity, not just objective equality);
+    * **certified approximation** — :func:`~repro.core.optimize.solve_approx`
+      agrees with the DP on feasibility, returns a menu-valid selection
+      within deadline, never beats the true optimum, and its
+      ``upper_bound`` / ``certified_gap`` dominate the true optimum /
+      true gap (the bound is *certified*: it may be loose, never wrong);
+    * **planner consistency** — a :class:`~repro.fleet.FleetPlanner` in
+      exact mode reproduces the fresh pruned-menu DP selection for every
+      group (so batching, grouping, and cross-call cell caching change
+      nothing), a second ``plan()`` over the same flows emits a
+      byte-identical dump, and approx-mode group gaps dominate their
+      true gaps.
+    """
+    from ..fleet import FleetPlanner
+
+    out: List[str] = []
+    deadlines = {}
+    for spec in flows:
+        deadlines.setdefault(spec.menu_id, set()).add(
+            int(spec.deadline_seconds)
+        )
+
+    pruned_menus = {}
+    for menu_id in sorted(deadlines):
+        stages = menus[menu_id]
+        pruned, _ = prune_stage_options(stages)
+        pruned_menus[menu_id] = pruned
+        dls = sorted(deadlines[menu_id])
+        table = MCKPTable(pruned, dls[-1])
+        for deadline in dls:
+            raw_sol = solve_mckp_dp(stages, deadline)
+            pruned_sol = solve_mckp_dp(pruned, deadline)
+            if (raw_sol is None) != (pruned_sol is None):
+                out.append(
+                    f"fleet: {menu_id}@{deadline} pruning changed "
+                    f"feasibility (raw {raw_sol is not None}, "
+                    f"pruned {pruned_sol is not None})"
+                )
+                continue
+            if raw_sol is not None:
+                if not _close(
+                    raw_sol.objective_inverse_price,
+                    pruned_sol.objective_inverse_price,
+                ):
+                    out.append(
+                        f"fleet: {menu_id}@{deadline} pruning changed the "
+                        f"DP optimum: raw "
+                        f"{raw_sol.objective_inverse_price!r} vs pruned "
+                        f"{pruned_sol.objective_inverse_price!r}"
+                    )
+                raw_cost = solve_min_cost_dp(stages, deadline)
+                pruned_cost = solve_min_cost_dp(pruned, deadline)
+                if raw_cost is not None and pruned_cost is not None:
+                    if not _close(
+                        raw_cost.total_cost, pruned_cost.total_cost
+                    ):
+                        out.append(
+                            f"fleet: {menu_id}@{deadline} pruning changed "
+                            f"the min-cost optimum: "
+                            f"{raw_cost.total_cost!r} vs "
+                            f"{pruned_cost.total_cost!r}"
+                        )
+
+            reused = table.query(deadline)
+            if (reused is None) != (pruned_sol is None):
+                out.append(
+                    f"fleet: {menu_id}@{deadline} table reuse changed "
+                    f"feasibility"
+                )
+            elif reused is not None and _choice_map(reused) != _choice_map(
+                pruned_sol
+            ):
+                out.append(
+                    f"fleet: {menu_id}@{deadline} table built at "
+                    f"{dls[-1]} answers {_choice_map(reused)} but a fresh "
+                    f"solve picks {_choice_map(pruned_sol)}"
+                )
+
+            approx = solve_approx(pruned, deadline)
+            if (approx is None) != (pruned_sol is None):
+                out.append(
+                    f"fleet: {menu_id}@{deadline} approx feasibility "
+                    f"{approx is not None} != exact {pruned_sol is not None}"
+                )
+            elif approx is not None:
+                _check_selection_shape(
+                    approx.selection,
+                    pruned,
+                    deadline,
+                    f"fleet approx {menu_id}@{deadline}",
+                    out,
+                )
+                opt = pruned_sol.objective_inverse_price
+                # Gap comparisons difference two near-equal sums, so the
+                # slack must scale with the optimum, not with the gap.
+                tol = REL_TOL * max(1.0, abs(opt))
+                if approx.objective > opt + tol:
+                    out.append(
+                        f"fleet: {menu_id}@{deadline} approx objective "
+                        f"{approx.objective!r} beats the DP optimum {opt!r}"
+                    )
+                if approx.upper_bound < opt - tol:
+                    out.append(
+                        f"fleet: {menu_id}@{deadline} certified upper "
+                        f"bound {approx.upper_bound!r} below the DP "
+                        f"optimum {opt!r}"
+                    )
+                true_gap = opt - approx.objective
+                if approx.certified_gap < true_gap - tol:
+                    out.append(
+                        f"fleet: {menu_id}@{deadline} certified gap "
+                        f"{approx.certified_gap!r} below the true gap "
+                        f"{true_gap!r}"
+                    )
+
+    planner = FleetPlanner(mode="exact")
+    for menu_id in sorted(menus):
+        planner.register_menu(menu_id, menus[menu_id])
+    plan = planner.plan(flows)
+    if plan.stats.flows != len(list(flows)):
+        out.append(
+            f"fleet: planner saw {plan.stats.flows} flows, expected "
+            f"{len(list(flows))}"
+        )
+    for group in plan.groups:
+        fresh = solve_mckp_dp(pruned_menus[group.menu_id], group.capacity)
+        if group.feasible != (fresh is not None):
+            out.append(
+                f"fleet: planner group {group.menu_id}@{group.capacity} "
+                f"feasible={group.feasible} but fresh solve "
+                f"{'found' if fresh else 'found no'} selection"
+            )
+        elif fresh is not None and _choice_map(group.selection) != _choice_map(
+            fresh
+        ):
+            out.append(
+                f"fleet: planner group {group.menu_id}@{group.capacity} "
+                f"selection {_choice_map(group.selection)} != fresh "
+                f"{_choice_map(fresh)}"
+            )
+    # The dump header carries per-call work counters (tables built this
+    # call), which legitimately drop to zero on a cached re-plan; the
+    # *plan* — every group line — must be byte-identical.
+    replan = planner.plan(flows)
+    if (
+        replan.dump().split("\n", 1)[1] != plan.dump().split("\n", 1)[1]
+        or replan.total_cost != plan.total_cost
+    ):
+        out.append("fleet: second plan() over cached cells changed the plan")
+
+    approx_planner = FleetPlanner(mode="approx")
+    for menu_id in sorted(menus):
+        approx_planner.register_menu(menu_id, menus[menu_id])
+    approx_plan = approx_planner.plan(flows)
+    for group in approx_plan.groups:
+        fresh = solve_mckp_dp(pruned_menus[group.menu_id], group.capacity)
+        if group.feasible != (fresh is not None):
+            out.append(
+                f"fleet: approx planner group "
+                f"{group.menu_id}@{group.capacity} feasibility "
+                f"{group.feasible} != exact {fresh is not None}"
+            )
+        elif fresh is not None:
+            opt = fresh.objective_inverse_price
+            true_gap = opt - group.objective
+            if group.certified_gap < true_gap - REL_TOL * max(1.0, abs(opt)):
+                out.append(
+                    f"fleet: approx planner group "
+                    f"{group.menu_id}@{group.capacity} certified gap "
+                    f"{group.certified_gap!r} below true gap {true_gap!r}"
+                )
     return out

@@ -10,6 +10,7 @@ from repro.core.optimize import (
     StageOptions,
     build_stage_options,
     cost_saving_percent,
+    enumerate_feasible,
     over_provisioning,
     solve_brute_force,
     solve_greedy,
@@ -236,3 +237,123 @@ class TestEdgeCases:
         # 1/p rewards tiny prices enormously; both pick 0.01 placement,
         # but inverse-price may tolerate pricier synthesis if it frees time.
         assert cost2.total_cost <= inv2.total_cost + 1e-12
+
+
+class TestGreedyTieBreaking:
+    """solve_greedy uses strict ``>`` on the time/$ ratio: the first
+    candidate encountered (stage insertion order, then option list
+    order) wins every tie, deterministically."""
+
+    def test_equal_ratio_upgrades_first_stage_wins(self):
+        # Both stages offer the identical upgrade: save 10s for $1
+        # (ratio 10.0).  One upgrade meets the deadline; the tie must
+        # go to the first-listed stage.
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 20, 1.0), (2, 10, 2.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 20, 1.0), (2, 10, 2.0)]),
+        ]
+        sel = solve_greedy(stages, 30)
+        assert sel is not None
+        assert sel.choices[EDAStage.SYNTHESIS].runtime_seconds == 10
+        assert sel.choices[EDAStage.PLACEMENT].runtime_seconds == 20
+
+    def test_equal_ratio_within_stage_first_option_wins(self):
+        # Two distinct upgrades inside one stage share ratio 10.0; the
+        # earlier-listed option is bought.
+        stages = [
+            make_stage(
+                EDAStage.SYNTHESIS,
+                [(1, 30, 1.0), (2, 20, 2.0), (4, 10, 3.0)],
+            ),
+        ]
+        # Deadline 20: one upgrade of 10s saved suffices.  Option index
+        # 1 (save 10 for $1) and index 2 (save 20 for $2) tie at 10.0;
+        # index 1 comes first in the list.
+        sel = solve_greedy(stages, 20)
+        assert sel is not None
+        assert sel.choices[EDAStage.SYNTHESIS].runtime_seconds == 20
+
+    def test_free_upgrade_beats_any_paid_ratio(self):
+        # A faster option at the SAME price has extra <= 0 -> the 1e-9
+        # clamp makes its ratio astronomically large, beating any paid
+        # upgrade no matter how good.
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 20, 1.0), (2, 15, 1.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 20, 1.0), (2, 5, 1.001)]),
+        ]
+        sel = solve_greedy(stages, 35)
+        assert sel is not None
+        # The free synthesis upgrade (save 5 for $0) is taken, not the
+        # near-free placement one (save 15 for $0.001, ratio 15000).
+        assert sel.choices[EDAStage.SYNTHESIS].runtime_seconds == 15
+        assert sel.choices[EDAStage.PLACEMENT].runtime_seconds == 20
+
+    def test_deterministic_across_calls(self):
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 20, 1.0), (2, 10, 2.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 20, 1.0), (2, 10, 2.0)]),
+        ]
+        picks = {
+            tuple(
+                (s.value, o.runtime_seconds)
+                for s, o in solve_greedy(stages, 30).choices.items()
+            )
+            for _ in range(5)
+        }
+        assert len(picks) == 1
+
+    def test_returns_none_when_unmeetable(self):
+        stages = [make_stage(EDAStage.SYNTHESIS, [(1, 100, 1.0)])]
+        assert solve_greedy(stages, 50) is None
+
+
+class TestEnumerateFeasibleDegenerate:
+    def test_single_option_per_stage_feasible(self):
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 10, 1.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 5, 0.5)]),
+        ]
+        selections = list(enumerate_feasible(stages, 15))
+        assert len(selections) == 1
+        assert selections[0].total_runtime == 15
+
+    def test_single_option_per_stage_infeasible(self):
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 10, 1.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 5, 0.5)]),
+        ]
+        assert list(enumerate_feasible(stages, 14)) == []
+
+    def test_infeasible_deadline_empty_not_error(self):
+        assert list(enumerate_feasible(PAPER_LIKE_STAGES, 1)) == []
+
+    def test_zero_runtime_stage_costs_no_capacity(self):
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 0, 0.3), (2, 0, 0.1)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 10, 1.0), (2, 4, 2.0)]),
+        ]
+        # The zero-runtime stage never constrains: at deadline 10 all
+        # four combos fit except none are excluded by the 0s options.
+        selections = list(enumerate_feasible(stages, 10))
+        assert len(selections) == 4
+        # And the DP agrees a zero-runtime stage is free capacity-wise.
+        sel = solve_mckp_dp(stages, 4)
+        assert sel is not None
+        assert sel.choices[EDAStage.PLACEMENT].runtime_seconds == 4
+
+    def test_empty_stage_list_yields_empty_selection(self):
+        selections = list(enumerate_feasible([], 10))
+        assert len(selections) == 1
+        assert selections[0].choices == {}
+
+    def test_nonpositive_deadline_raises(self):
+        with pytest.raises(ValueError):
+            list(enumerate_feasible(PAPER_LIKE_STAGES, 0))
+
+    def test_count_matches_product_minus_infeasible(self):
+        stages = [
+            make_stage(EDAStage.SYNTHESIS, [(1, 3, 1.0), (2, 1, 2.0)]),
+            make_stage(EDAStage.PLACEMENT, [(1, 3, 1.0), (2, 1, 2.0)]),
+        ]
+        # runtimes: 6, 4, 4, 2 -> at deadline 4, three combos fit.
+        assert len(list(enumerate_feasible(stages, 4))) == 3

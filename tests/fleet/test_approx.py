@@ -1,0 +1,98 @@
+"""Certified greedy approximation: the bound always dominates the truth.
+
+``solve_approx`` walks the LP frontier; its ``upper_bound`` is the LP
+relaxation's optimum, which dominates the integer optimum, so the
+per-instance ``certified_gap`` must always dominate the *true* gap
+against the exact DP.  The certificate may be loose — never wrong.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimize import (
+    prune_stage_options,
+    solve_approx,
+    solve_brute_force,
+    solve_mckp_dp,
+)
+from repro.verify.generators import random_mckp_instance
+
+pytestmark = pytest.mark.fleet
+
+
+class TestSolveApprox:
+    @pytest.mark.parametrize("seed", range(200))
+    def test_bound_dominates_true_gap(self, seed):
+        rng = random.Random(seed)
+        stages, deadline = random_mckp_instance(rng)
+        exact = solve_mckp_dp(stages, deadline)
+        result = solve_approx(stages, deadline)
+        # Feasibility parity with the exact DP, on every instance.
+        assert (result is None) == (exact is None)
+        if result is None:
+            return
+        opt = exact.objective_inverse_price
+        tol = 1e-9 * max(1.0, abs(opt))
+        assert result.objective <= opt + tol
+        assert result.upper_bound >= opt - tol
+        true_gap = opt - result.objective
+        assert result.certified_gap >= true_gap - tol
+        assert result.certified_gap >= 0.0
+        assert result.upper_bound >= result.objective
+
+    @pytest.mark.parametrize("seed", range(0, 200, 7))
+    def test_selection_is_menu_valid_and_feasible(self, seed):
+        rng = random.Random(seed)
+        stages, deadline = random_mckp_instance(rng)
+        result = solve_approx(stages, deadline)
+        if result is None:
+            return
+        selection = result.selection
+        assert set(selection.choices) == {s.stage for s in stages}
+        for so in stages:
+            assert selection.choices[so.stage] in so.options
+        assert selection.total_runtime <= int(deadline)
+
+    @pytest.mark.parametrize("seed", range(0, 60, 3))
+    def test_matches_brute_force_feasibility(self, seed):
+        rng = random.Random(seed)
+        stages, deadline = random_mckp_instance(rng)
+        brute = solve_brute_force(stages, deadline)
+        assert (solve_approx(stages, deadline) is None) == (brute is None)
+
+    def test_pruning_first_changes_nothing_about_validity(self):
+        for seed in range(30):
+            stages, deadline = random_mckp_instance(random.Random(seed))
+            pruned, _ = prune_stage_options(stages)
+            raw = solve_approx(stages, deadline)
+            cut = solve_approx(pruned, deadline)
+            assert (raw is None) == (cut is None)
+
+    def test_empty_stages_zero_everything(self):
+        result = solve_approx([], 100)
+        assert result is not None
+        assert result.objective == 0.0
+        assert result.upper_bound == 0.0
+        assert result.certified_gap == 0.0
+        assert result.selection.choices == {}
+
+    def test_nonpositive_deadline_raises(self):
+        stages, _ = random_mckp_instance(random.Random(3))
+        with pytest.raises(ValueError):
+            solve_approx(stages, 0)
+
+    def test_single_option_per_stage_is_exact(self):
+        rng = random.Random(11)
+        stages, deadline = random_mckp_instance(rng)
+        narrowed = [
+            type(s)(stage=s.stage, options=[s.options[0]]) for s in stages
+        ]
+        exact = solve_mckp_dp(narrowed, deadline)
+        result = solve_approx(narrowed, deadline)
+        assert (result is None) == (exact is None)
+        if result is not None:
+            # One choice per stage: approximation == optimum, gap == 0.
+            assert result.certified_gap <= 1e-9 * max(
+                1.0, result.objective
+            )

@@ -1,0 +1,138 @@
+"""Dominance pruning never changes the DP optimum (property suite).
+
+The satellite contract: on 200 seeded instances, the DP over the pruned
+menu agrees with the DP over the raw menu — same feasibility and the
+same optimum for *both* DP objectives.  Selections may differ (pruning
+can change which of several optimal selections the backtrack picks), so
+the agreement is on objective values, compared at the oracle tolerance.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.optimize import (
+    ConfigOption,
+    StageOptions,
+    prune_dominated,
+    prune_stage_options,
+    solve_mckp_dp,
+    solve_min_cost_dp,
+)
+from repro.eda.job import EDAStage
+from repro.verify.generators import random_mckp_instance
+
+pytestmark = pytest.mark.fleet
+
+
+def _close(a, b):
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def _opt(stage, name, runtime, price):
+    from repro.cloud.instance import InstanceFamily, VMConfig
+
+    vm = VMConfig(
+        name=name,
+        family=InstanceFamily.GENERAL_PURPOSE,
+        vcpus=2,
+        memory_gb=8.0,
+        price_per_hour=1.0,
+    )
+    return ConfigOption(vm=vm, runtime_seconds=runtime, price=price)
+
+
+class TestPruneDominated:
+    def test_strictly_dominated_option_removed(self):
+        a = _opt(EDAStage.SYNTHESIS, "fast-cheap", 10, 1.0)
+        b = _opt(EDAStage.SYNTHESIS, "slow-dear", 20, 2.0)
+        kept = prune_dominated([a, b])
+        assert kept == [a]
+
+    def test_frontier_options_all_kept(self):
+        a = _opt(EDAStage.SYNTHESIS, "fast-dear", 10, 3.0)
+        b = _opt(EDAStage.SYNTHESIS, "slow-cheap", 20, 1.0)
+        assert prune_dominated([a, b]) == [a, b]
+
+    def test_exact_duplicate_keeps_earliest(self):
+        a = _opt(EDAStage.SYNTHESIS, "first", 10, 2.0)
+        b = _opt(EDAStage.SYNTHESIS, "twin", 10, 2.0)
+        assert prune_dominated([a, b]) == [a]
+
+    def test_equal_runtime_cheaper_wins(self):
+        a = _opt(EDAStage.SYNTHESIS, "dear", 10, 3.0)
+        b = _opt(EDAStage.SYNTHESIS, "cheap", 10, 1.0)
+        assert prune_dominated([a, b]) == [b]
+
+    def test_never_empties_a_menu(self):
+        for seed in range(50):
+            rng = random.Random(seed)
+            stages, _ = random_mckp_instance(rng)
+            for so in stages:
+                assert len(prune_dominated(so.options)) >= 1
+
+
+class TestPruneStageOptions:
+    def test_reuses_object_when_nothing_pruned(self):
+        a = _opt(EDAStage.SYNTHESIS, "fast-dear", 10, 3.0)
+        b = _opt(EDAStage.SYNTHESIS, "slow-cheap", 20, 1.0)
+        so = StageOptions(stage=EDAStage.SYNTHESIS, options=[a, b])
+        pruned, removed = prune_stage_options([so])
+        assert removed == 0
+        assert pruned[0] is so
+
+    def test_removed_count_sums_across_stages(self):
+        s1 = StageOptions(
+            stage=EDAStage.SYNTHESIS,
+            options=[
+                _opt(EDAStage.SYNTHESIS, "a", 10, 1.0),
+                _opt(EDAStage.SYNTHESIS, "b", 20, 2.0),
+            ],
+        )
+        s2 = StageOptions(
+            stage=EDAStage.PLACEMENT,
+            options=[
+                _opt(EDAStage.PLACEMENT, "c", 5, 1.0),
+                _opt(EDAStage.PLACEMENT, "d", 5, 1.0),
+                _opt(EDAStage.PLACEMENT, "e", 9, 9.0),
+            ],
+        )
+        pruned, removed = prune_stage_options([s1, s2])
+        assert removed == 3
+        assert [len(p.options) for p in pruned] == [1, 1]
+
+
+class TestPruningPreservesOptimum:
+    """The 200-instance property sweep from the satellite checklist."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_dp_optimum_unchanged(self, seed):
+        rng = random.Random(seed)
+        stages, deadline = random_mckp_instance(rng)
+        pruned, removed = prune_stage_options(stages)
+        assert removed >= 0
+
+        raw = solve_mckp_dp(stages, deadline)
+        cut = solve_mckp_dp(pruned, deadline)
+        assert (raw is None) == (cut is None)
+        if raw is not None:
+            assert _close(
+                raw.objective_inverse_price, cut.objective_inverse_price
+            )
+
+        raw_cost = solve_min_cost_dp(stages, deadline)
+        cut_cost = solve_min_cost_dp(pruned, deadline)
+        assert (raw_cost is None) == (cut_cost is None)
+        if raw_cost is not None:
+            assert _close(raw_cost.total_cost, cut_cost.total_cost)
+
+    @pytest.mark.parametrize("seed", range(0, 200, 10))
+    def test_pruned_options_subset_of_raw(self, seed):
+        rng = random.Random(seed)
+        stages, _ = random_mckp_instance(rng)
+        pruned, _ = prune_stage_options(stages)
+        for raw_so, cut_so in zip(stages, pruned):
+            assert cut_so.stage == raw_so.stage
+            for opt in cut_so.options:
+                assert opt in raw_so.options

@@ -1,0 +1,123 @@
+"""SpotMarketFeed: deterministic walks, clamps, non-compounding repricing."""
+
+import pytest
+
+from repro.cloud.executor import is_spot_vm
+from repro.cloud.spot import SpotMarket
+from repro.fleet import SpotMarketFeed
+from repro.fleet.planner import menu_signature
+from repro.verify.generators import random_mckp_instance
+
+pytestmark = pytest.mark.fleet
+
+
+def _spot_menu(seed=0, discount=0.3):
+    import random
+
+    stages, _ = random_mckp_instance(random.Random(seed))
+    market = SpotMarket(discount=discount, interrupt_rate_per_hour=0.05)
+    return market.augment_stage_options(stages)
+
+
+class TestWalk:
+    def test_same_seed_same_path(self):
+        a = SpotMarketFeed(seed=5)
+        b = SpotMarketFeed(seed=5)
+        assert [a.discount(t) for t in range(50)] == [
+            b.discount(t) for t in range(50)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = SpotMarketFeed(seed=1)
+        b = SpotMarketFeed(seed=2)
+        assert [a.discount(t) for t in range(20)] != [
+            b.discount(t) for t in range(20)
+        ]
+
+    def test_query_order_does_not_matter(self):
+        a = SpotMarketFeed(seed=9)
+        b = SpotMarketFeed(seed=9)
+        forward = [a.discount(t) for t in range(30)]
+        backward = [b.discount(t) for t in reversed(range(30))]
+        assert forward == list(reversed(backward))
+
+    def test_tick_zero_is_base_discount(self):
+        feed = SpotMarketFeed(seed=3, base_discount=0.42)
+        assert feed.discount(0) == 0.42
+
+    def test_walk_respects_clamp(self):
+        feed = SpotMarketFeed(seed=7, volatility=2.0, floor=0.1, cap=0.6)
+        for t in range(200):
+            assert 0.1 <= feed.discount(t) <= 0.6
+
+    def test_zero_volatility_freezes_market(self):
+        feed = SpotMarketFeed(seed=0, volatility=0.0, base_discount=0.3)
+        assert all(feed.discount(t) == 0.3 for t in range(10))
+
+    def test_tick_materializes_all_pools(self):
+        feed = SpotMarketFeed(
+            seed=0, pools=("spot", "spot-2"), tick_interval_seconds=60.0
+        )
+        tick = feed.tick(4)
+        assert tick.index == 4
+        assert tick.time_seconds == 240.0
+        assert set(tick.discounts) == {"spot", "spot-2"}
+        assert tick.discount("spot") == feed.discount(4, "spot")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotMarketFeed(base_discount=0.0)
+        with pytest.raises(ValueError):
+            SpotMarketFeed(volatility=-0.1)
+        with pytest.raises(ValueError):
+            SpotMarketFeed(floor=0.5, cap=0.4)
+        with pytest.raises(ValueError):
+            SpotMarketFeed(tick_interval_seconds=0.0)
+        with pytest.raises(ValueError):
+            SpotMarketFeed(pools=())
+        feed = SpotMarketFeed()
+        with pytest.raises(ValueError):
+            feed.discount(-1)
+        with pytest.raises(KeyError):
+            feed.discount(0, "nope")
+
+
+class TestReprice:
+    def test_tick_zero_prices_unchanged(self):
+        menu = _spot_menu()
+        feed = SpotMarketFeed(seed=0, base_discount=0.3)
+        repriced, discount = feed.reprice_stage_options(menu, 0)
+        assert discount == 0.3
+        assert menu_signature(repriced) == menu_signature(menu)
+
+    def test_on_demand_options_never_move(self):
+        menu = _spot_menu()
+        feed = SpotMarketFeed(seed=1, volatility=0.5)
+        repriced, _ = feed.reprice_stage_options(menu, 5)
+        for raw_so, new_so in zip(menu, repriced):
+            for raw_opt, new_opt in zip(raw_so.options, new_so.options):
+                if not is_spot_vm(raw_opt.vm):
+                    assert new_opt is raw_opt
+
+    def test_spot_options_scale_by_discount_ratio(self):
+        menu = _spot_menu(discount=0.3)
+        feed = SpotMarketFeed(seed=2, base_discount=0.3, volatility=0.5)
+        tick = 7
+        repriced, discount = feed.reprice_stage_options(menu, tick)
+        factor = discount / 0.3
+        for raw_so, new_so in zip(menu, repriced):
+            for raw_opt, new_opt in zip(raw_so.options, new_so.options):
+                if is_spot_vm(raw_opt.vm):
+                    assert new_opt.price == pytest.approx(
+                        raw_opt.price * factor
+                    )
+                    assert new_opt.runtime_seconds == raw_opt.runtime_seconds
+
+    def test_repricing_never_compounds(self):
+        # Repricing the ORIGINAL menu at tick t, twice, gives the same
+        # prices — the factor is always relative to base_discount.
+        menu = _spot_menu()
+        feed = SpotMarketFeed(seed=4, volatility=0.4)
+        once, _ = feed.reprice_stage_options(menu, 9)
+        again, _ = feed.reprice_stage_options(menu, 9)
+        assert menu_signature(once) == menu_signature(again)

@@ -1,0 +1,200 @@
+"""FleetPlanner: grouping, cell caching, invalidation, byte-stable dumps."""
+
+import random
+
+import pytest
+
+from repro.fleet import FleetPlanner, FlowSpec, synthetic_fleet
+from repro.fleet.planner import menu_signature
+from repro.verify.generators import random_mckp_instance
+
+pytestmark = pytest.mark.fleet
+
+
+def _fleet(seed=0, flows=400, menus=6):
+    menu_map, specs = synthetic_fleet(seed=seed, flows=flows, menus=menus)
+    planner = FleetPlanner(mode="exact")
+    for menu_id in sorted(menu_map):
+        planner.register_menu(menu_id, menu_map[menu_id])
+    return planner, menu_map, specs
+
+
+class TestGrouping:
+    def test_group_hits_amortize_duplicate_flows(self):
+        planner, _, specs = _fleet(flows=400, menus=4)
+        plan = planner.plan(specs)
+        assert plan.stats.flows == 400
+        # Bucketed deadlines over 4 menus: far fewer groups than flows,
+        # and every flow beyond the first in its group is a dict hit.
+        assert plan.stats.groups < 400
+        assert plan.stats.group_hits == 400 - plan.stats.groups
+        assert sum(len(g.flow_ids) for g in plan.groups) == 400
+
+    def test_one_table_per_menu(self):
+        planner, menu_map, specs = _fleet(flows=500, menus=5)
+        plan = planner.plan(specs)
+        used_menus = {s.menu_id for s in specs}
+        assert plan.stats.tables_built == len(used_menus)
+        assert plan.stats.table_queries == plan.stats.groups
+
+    def test_feasible_plus_infeasible_is_total(self):
+        planner, _, specs = _fleet()
+        plan = planner.plan(specs)
+        assert (
+            plan.stats.feasible_flows + plan.stats.infeasible_flows
+            == plan.stats.flows
+        )
+
+    def test_group_for_finds_every_flow(self):
+        planner, _, specs = _fleet(flows=50)
+        plan = planner.plan(specs)
+        for spec in specs:
+            group = plan.group_for(spec.flow_id)
+            assert group is not None
+            assert group.menu_id == spec.menu_id
+
+    def test_unregistered_menu_raises(self):
+        planner, _, _ = _fleet()
+        with pytest.raises(KeyError):
+            planner.plan([FlowSpec("f0", "no-such-menu", 100.0)])
+
+    def test_nonpositive_deadline_raises(self):
+        planner, menu_map, _ = _fleet()
+        menu_id = sorted(menu_map)[0]
+        with pytest.raises(ValueError):
+            planner.plan([FlowSpec("f0", menu_id, 0.0)])
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            FleetPlanner(mode="magic")
+
+
+class TestCellCache:
+    def test_replan_hits_cache_and_matches(self):
+        planner, _, specs = _fleet()
+        first = planner.plan(specs)
+        second = planner.plan(specs)
+        assert second.stats.tables_built == 0
+        assert second.stats.table_queries == 0
+        # Group lines (everything but the counter header) are identical.
+        assert (
+            first.dump().split("\n", 1)[1]
+            == second.dump().split("\n", 1)[1]
+        )
+        assert first.total_cost == second.total_cost
+
+    def test_plans_do_not_leak_flows_across_calls(self):
+        planner, _, specs = _fleet(flows=100)
+        planner.plan(specs)
+        plan = planner.plan(specs[:10])
+        assert plan.stats.flows == 10
+        assert sum(len(g.flow_ids) for g in plan.groups) == 10
+
+    def test_invalidate_forces_resolve(self):
+        planner, _, specs = _fleet()
+        first = planner.plan(specs)
+        dropped = planner.invalidate()
+        assert dropped > 0
+        third = planner.plan(specs)
+        assert third.stats.tables_built == first.stats.tables_built
+        assert third.stats.invalidations > first.stats.invalidations
+
+
+class TestRegistration:
+    def test_reregister_unchanged_menu_keeps_cache(self):
+        planner, menu_map, specs = _fleet()
+        planner.plan(specs)
+        for menu_id in sorted(menu_map):
+            assert planner.register_menu(menu_id, menu_map[menu_id]) is False
+        assert planner.plan(specs).stats.tables_built == 0
+
+    def test_reregister_changed_prices_invalidates(self):
+        planner, menu_map, specs = _fleet()
+        planner.plan(specs)
+        menu_id = sorted(menu_map)[0]
+        stages = menu_map[menu_id]
+        from dataclasses import replace
+
+        bumped = [
+            type(so)(
+                stage=so.stage,
+                options=[
+                    replace(opt, price=opt.price * 2.0)
+                    for opt in so.options
+                ],
+            )
+            for so in stages
+        ]
+        assert menu_signature(bumped) != menu_signature(stages)
+        assert planner.register_menu(menu_id, bumped) is True
+        # Only the changed menu re-solves; the rest answer from cache.
+        used = {s.menu_id for s in specs}
+        plan = planner.plan(specs)
+        assert plan.stats.tables_built == (1 if menu_id in used else 0)
+
+    def test_menu_ids_sorted(self):
+        planner, menu_map, _ = _fleet()
+        assert planner.menu_ids == sorted(menu_map)
+
+    def test_signature_sensitive_to_each_field(self):
+        stages, _ = random_mckp_instance(random.Random(0))
+        base = menu_signature(stages)
+        from dataclasses import replace
+
+        tweaked = [
+            type(so)(
+                stage=so.stage,
+                options=[
+                    replace(opt, runtime_seconds=opt.runtime_seconds + 1)
+                    for opt in so.options
+                ],
+            )
+            for so in stages
+        ]
+        assert menu_signature(tweaked) != base
+
+
+class TestDumpStability:
+    def test_fresh_planners_dump_identically(self):
+        dumps = []
+        for _ in range(2):
+            planner, _, specs = _fleet(seed=3, flows=300)
+            dumps.append(planner.plan(specs).dump())
+        assert dumps[0] == dumps[1]
+
+    def test_flow_order_does_not_change_dump_body(self):
+        planner_a, _, specs = _fleet(seed=5, flows=200)
+        planner_b, _, _ = _fleet(seed=5, flows=200)
+        body_a = planner_a.plan(specs).dump().split("\n", 1)[1]
+        body_b = (
+            planner_b.plan(list(reversed(specs))).dump().split("\n", 1)[1]
+        )
+        assert body_a == body_b
+
+
+class TestApproxMode:
+    def test_approx_counts_solves_not_tables(self):
+        menu_map, specs = synthetic_fleet(seed=1, flows=300, menus=4)
+        planner = FleetPlanner(mode="approx")
+        for menu_id in sorted(menu_map):
+            planner.register_menu(menu_id, menu_map[menu_id])
+        plan = planner.plan(specs)
+        assert plan.mode == "approx"
+        assert plan.stats.tables_built == 0
+        assert plan.stats.approx_solves == plan.stats.groups
+        assert plan.max_certified_gap >= 0.0
+
+    def test_no_prune_keeps_every_option(self):
+        menu_map, specs = synthetic_fleet(seed=2, flows=100, menus=3)
+        pruned = FleetPlanner(mode="exact", prune=True)
+        raw = FleetPlanner(mode="exact", prune=False)
+        for menu_id in sorted(menu_map):
+            pruned.register_menu(menu_id, menu_map[menu_id])
+            raw.register_menu(menu_id, menu_map[menu_id])
+        plan_p = pruned.plan(specs)
+        plan_r = raw.plan(specs)
+        assert plan_r.stats.pruned_options == 0
+        assert plan_p.stats.pruned_options >= 0
+        # Pruning must not move the fleet's total cost.
+        assert plan_p.total_cost == pytest.approx(plan_r.total_cost)
+        assert plan_p.stats.feasible_flows == plan_r.stats.feasible_flows

@@ -1,0 +1,77 @@
+"""DP-table reuse: one table answers every smaller deadline identically.
+
+The invariant the fleet planner leans on: the DP state at capacity ``c``
+never reads entries above ``c``, so a table built to capacity ``C``
+contains — as a prefix — exactly the table a fresh solve at any
+``d <= C`` would build.  The reuse answer must therefore be *identical*
+(same option per stage, not merely the same objective) to a fresh
+``solve_mckp_dp`` call.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimize import MCKPTable, solve_mckp_dp
+from repro.verify.generators import random_mckp_instance
+
+pytestmark = pytest.mark.fleet
+
+
+def _choices(selection):
+    return {
+        stage.value: (opt.vm.name, opt.runtime_seconds)
+        for stage, opt in selection.choices.items()
+    }
+
+
+class TestTableReuse:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_every_smaller_deadline_matches_fresh_solve(self, seed):
+        rng = random.Random(seed)
+        stages, deadline = random_mckp_instance(rng)
+        slowest = sum(
+            max(o.runtime_seconds for o in s.options) for s in stages
+        )
+        capacity = slowest + 10
+        table = MCKPTable(stages, capacity)
+        # Sweep a deadline ladder from clearly-infeasible to slack.
+        for d in range(1, capacity + 1, max(1, capacity // 17)):
+            reused = table.query(d)
+            fresh = solve_mckp_dp(stages, d)
+            assert (reused is None) == (fresh is None), f"deadline {d}"
+            if fresh is not None:
+                assert _choices(reused) == _choices(fresh), f"deadline {d}"
+
+    def test_query_beyond_capacity_raises(self):
+        stages, deadline = random_mckp_instance(random.Random(0))
+        table = MCKPTable(stages, deadline)
+        with pytest.raises(ValueError):
+            table.query(table.capacity + 1)
+
+    def test_query_at_capacity_matches_solver(self):
+        stages, deadline = random_mckp_instance(random.Random(7))
+        table = MCKPTable(stages, deadline)
+        fresh = solve_mckp_dp(stages, deadline)
+        got = table.query(deadline)
+        assert (got is None) == (fresh is None)
+        if fresh is not None:
+            assert _choices(got) == _choices(fresh)
+
+    def test_nonpositive_deadline_rejected(self):
+        stages, _ = random_mckp_instance(random.Random(1))
+        with pytest.raises(ValueError):
+            MCKPTable(stages, 0)
+        table = MCKPTable(stages, 10)
+        with pytest.raises(ValueError):
+            table.query(0)
+
+    def test_solver_delegates_to_table(self):
+        # solve_mckp_dp is now a build-and-query; the two paths must
+        # stay literally interchangeable.
+        stages, deadline = random_mckp_instance(random.Random(21))
+        via_solver = solve_mckp_dp(stages, deadline)
+        via_table = MCKPTable(stages, deadline).query(deadline)
+        assert (via_solver is None) == (via_table is None)
+        if via_solver is not None:
+            assert _choices(via_solver) == _choices(via_table)

@@ -33,10 +33,42 @@ class TestRunBench:
         assert again["structure"] == bench_doc["structure"]
         assert again["metrics"] == bench_doc["metrics"]
 
-    def test_covers_all_three_workloads(self, bench_doc):
+    def test_covers_all_workloads(self, bench_doc):
         roots = [node["name"] for node in bench_doc["structure"]]
-        assert roots == ["bench.flow", "bench.executor", "bench.gnn"]
-        assert set(bench_doc["workloads"]) == {"flow", "executor", "gnn"}
+        assert roots == [
+            "bench.flow",
+            "bench.executor",
+            "bench.gnn",
+            "bench.fleet",
+        ]
+        assert set(bench_doc["workloads"]) == {
+            "flow",
+            "executor",
+            "gnn",
+            "fleet",
+        }
+
+    def test_fleet_block_and_gauges(self, bench_doc):
+        gauges = bench_doc["metrics"]["gauges"]
+        assert gauges["bench.fleet.planned_flows"] == 40000
+        assert (
+            gauges["bench.fleet.planned_flows"]
+            == gauges["bench.fleet.feasible_flows"]
+            + bench_doc["metrics"]["gauges"].get(
+                "bench.fleet.infeasible_flows",
+                gauges["bench.fleet.planned_flows"]
+                - gauges["bench.fleet.feasible_flows"],
+            )
+        )
+        assert gauges["bench.fleet.total_cost"] > 0
+        assert gauges["bench.fleet.max_certified_gap"] >= 0.0
+        # Wall-clock throughput rides in its own doc block, never in the
+        # gauge registry (which must be same-seed identical).
+        assert "bench.fleet.flows_per_second" not in gauges
+        fleet = bench_doc["fleet"]
+        assert fleet["flows"] == 40000
+        assert fleet["flows_per_second"] > 0
+        assert fleet["groups"] == gauges["bench.fleet.groups"]
 
     def test_flow_runtimes_recorded_at_vcpu_grid(self, bench_doc):
         gauges = bench_doc["metrics"]["gauges"]

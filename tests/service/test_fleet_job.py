@@ -1,0 +1,85 @@
+"""The ``fleet`` job kind: capacity planning through the service layer."""
+
+import pytest
+
+from repro.service import (
+    InvalidRequestError,
+    JobRequest,
+    ServiceConfig,
+    run_session,
+)
+from repro.service.jobs import JOB_KINDS
+from repro.service.runners import PipelineRunner
+
+
+def _run(request):
+    result = run_session([request], ServiceConfig(workers=1, queue_depth=4))
+    assert result.accepted == 1
+    (job,) = result.service.jobs.values()
+    return job
+
+
+class TestFleetJobKind:
+    def test_fleet_is_a_registered_kind(self):
+        assert "fleet" in JOB_KINDS
+
+    def test_result_document_shape(self):
+        job = _run(
+            JobRequest(
+                kind="fleet",
+                seed=3,
+                params={"flows": 300, "menus": 4, "mode": "approx"},
+            )
+        )
+        assert job.state.value == "done"
+        doc = job.result
+        assert doc["kind"] == "fleet"
+        assert doc["mode"] == "approx"
+        assert doc["flows"] == 300
+        assert (
+            doc["feasible_flows"] + doc["infeasible_flows"] == doc["flows"]
+        )
+        assert doc["groups"] >= 1
+        assert doc["total_cost"] > 0
+        assert doc["max_certified_gap"] >= 0.0
+
+    def test_exact_mode_has_zero_gap(self):
+        job = _run(
+            JobRequest(
+                kind="fleet",
+                seed=1,
+                params={"flows": 200, "menus": 3, "mode": "exact"},
+            )
+        )
+        assert job.result["mode"] == "exact"
+        assert job.result["max_certified_gap"] == 0.0
+
+    def test_same_seed_same_result(self):
+        request = JobRequest(
+            kind="fleet", seed=9, params={"flows": 250, "menus": 4}
+        )
+        a = _run(request).result
+        b = _run(request).result
+        assert a == b
+
+    def test_invalid_params_are_typed_400s(self):
+        runner = PipelineRunner()
+        bad_flows = JobRequest(kind="fleet", params={"flows": 0})
+        bad_mode = JobRequest(kind="fleet", params={"mode": "magic"})
+        for request in (bad_flows, bad_mode):
+            result = run_session(
+                [request], ServiceConfig(workers=1, queue_depth=4)
+            )
+            (job,) = result.service.jobs.values()
+            assert job.state.value == "failed"
+            assert job.error["code"] == "invalid_request"
+
+        class _Ctx:
+            def checkpoint(self):
+                pass
+
+        class _Job:
+            request = bad_mode
+
+        with pytest.raises(InvalidRequestError):
+            runner._run_fleet(_Job(), _Ctx())

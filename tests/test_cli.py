@@ -116,7 +116,7 @@ class TestVerifyCommand:
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 10 oracles, 100 trials, 0 violations" in out
+        assert "PASS: 11 oracles, 110 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])
@@ -452,3 +452,119 @@ class TestSubmitCommand:
         assert code == 1
         doc = json.loads(capsys.readouterr().out)
         assert doc["error"]["code"] == "invalid_request"
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.flows == 10000
+        assert args.menus == 16
+        assert args.deadline_buckets == 8
+        assert args.mode == "exact"
+        assert args.ticks == 0
+        assert args.min_throughput is None
+
+    def test_batch_plan_prints_summary(self, capsys):
+        code = main(["fleet", "--flows", "500", "--menus", "4", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro-fleet/1 mode=exact flows=500" in out
+        assert "500 flows in" in out
+        assert "planned" in out and "flows/sec" in out
+
+    def test_dump_is_deterministic(self, tmp_path, capsys):
+        dumps = []
+        for name in ("a.txt", "b.txt"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "fleet", "--flows", "400", "--menus", "3",
+                    "--seed", "7", "--mode", "approx",
+                    "--dump", str(path),
+                ]
+            ) == 0
+            dumps.append(path.read_bytes())
+        capsys.readouterr()
+        assert dumps[0] == dumps[1]
+
+    def test_session_mode_prints_tick_lines(self, capsys):
+        code = main(
+            [
+                "fleet", "--flows", "60", "--menus", "3", "--seed", "2",
+                "--ticks", "3", "--execute-per-tick", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro-fleet-session/1 seed=2" in out
+        assert out.count("tick=") == 3
+
+    def test_min_throughput_gate_fails(self, capsys):
+        # No planner hits 10^12 flows/sec; the gate must trip.
+        code = main(
+            [
+                "fleet", "--flows", "200", "--menus", "2",
+                "--min-throughput", "1000000000000",
+            ]
+        )
+        assert code == 1
+        assert "below --min-throughput" in capsys.readouterr().err
+
+    def test_bad_args_are_usage_errors(self, capsys):
+        assert main(["fleet", "--flows", "0"]) == 2
+        assert main(["fleet", "--ticks", "-1"]) == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--mode", "magic"])
+
+
+class TestVerifyCorpusCLI:
+    def test_replay_clean_corpus_passes(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("mckp:42\nfleet:1\n")
+        code = main(["verify", "--corpus", str(corpus)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corpus mckp@42: ok" in out
+        assert "corpus fleet@1: ok" in out
+        assert "PASS: 2 corpus entries, 0 regressed" in out
+
+    def test_malformed_corpus_is_usage_error(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("not a corpus line\n")
+        code = main(["verify", "--corpus", str(corpus)])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_record_corpus_on_clean_run_writes_nothing(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.txt"
+        code = main(
+            [
+                "verify", "--oracle", "mckp", "--trials", "5",
+                "--seed", "0", "--record-corpus", str(corpus),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert not corpus.exists()
+
+    def test_record_corpus_captures_failures(self, tmp_path, capsys, monkeypatch):
+        from repro.verify import fuzz
+
+        def broken_oracle(rng):
+            return ["synthetic violation"]
+
+        monkeypatch.setitem(fuzz.ORACLES, "mckp", broken_oracle)
+        corpus = tmp_path / "corpus.txt"
+        code = main(
+            [
+                "verify", "--oracle", "mckp", "--trials", "3",
+                "--seed", "0", "--record-corpus", str(corpus),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        from repro.verify import load_corpus
+
+        entries = load_corpus(str(corpus))
+        assert len(entries) == 3
+        assert all(e.oracle == "mckp" for e in entries)

@@ -1,0 +1,137 @@
+"""Replay corpus: format round-trips, recording semantics, tier-1 replay.
+
+The last class is the point of the whole mechanism: every entry in the
+real ``tests/verify/corpus.txt`` — one per oracle plus every historical
+fuzz failure — replays as an ordinary parametrized test, so a
+once-found oracle violation can never silently come back.
+"""
+
+import os
+
+import pytest
+
+from repro.verify import (
+    CorpusEntry,
+    append_failures,
+    format_entry,
+    load_corpus,
+    parse_corpus,
+    replay_corpus,
+    replay_entry,
+)
+from repro.verify.fuzz import ORACLES
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus.txt")
+
+
+class TestParse:
+    def test_round_trip(self):
+        entry = CorpusEntry(oracle="mckp", seed=77)
+        assert parse_corpus(format_entry("mckp", 77)) == [entry]
+        assert str(entry) == "mckp:77"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\nmckp:1\n  # indented comment\nspot:2\n"
+        assert parse_corpus(text) == [
+            CorpusEntry("mckp", 1),
+            CorpusEntry("spot", 2),
+        ]
+
+    def test_junk_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_corpus("mckp:1\nnot a corpus line\n")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_corpus("mckp:banana")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            parse_corpus("mckp:-3")
+
+    def test_missing_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            parse_corpus(":42")
+
+
+class TestLoadAppend:
+    def test_missing_file_is_empty_corpus(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope.txt")) == []
+
+    def test_append_writes_header_and_sorts(self, tmp_path):
+        path = str(tmp_path / "corpus.txt")
+        added = append_failures(
+            path, [("spot", 9), CorpusEntry("mckp", 3), ("mckp", 1)]
+        )
+        assert added == 3
+        text = open(path).read()
+        assert text.startswith("#")
+        assert load_corpus(path) == [
+            CorpusEntry("mckp", 1),
+            CorpusEntry("mckp", 3),
+            CorpusEntry("spot", 9),
+        ]
+
+    def test_append_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "corpus.txt")
+        assert append_failures(path, [("mckp", 1)]) == 1
+        before = open(path).read()
+        assert append_failures(path, [("mckp", 1)]) == 0
+        assert open(path).read() == before
+
+    def test_append_accepts_failure_objects(self, tmp_path):
+        class Failure:
+            oracle = "fleet"
+            seed = 123
+
+        path = str(tmp_path / "corpus.txt")
+        assert append_failures(path, [Failure()]) == 1
+        assert load_corpus(path) == [CorpusEntry("fleet", 123)]
+
+    def test_append_preserves_existing_entries(self, tmp_path):
+        path = str(tmp_path / "corpus.txt")
+        append_failures(path, [("aig", 5)])
+        append_failures(path, [("aig", 2)])
+        assert load_corpus(path) == [
+            CorpusEntry("aig", 5),
+            CorpusEntry("aig", 2),
+        ]
+
+
+class TestReplay:
+    def test_unknown_oracle_raises(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            replay_entry(CorpusEntry("not-an-oracle", 0))
+
+    def test_replay_corpus_pairs_entries_with_results(self, tmp_path):
+        path = str(tmp_path / "corpus.txt")
+        append_failures(path, [("mckp", 42)])
+        results = replay_corpus(path)
+        assert len(results) == 1
+        entry, violations = results[0]
+        assert entry == CorpusEntry("mckp", 42)
+        assert violations == []
+
+
+def _real_corpus():
+    entries = load_corpus(CORPUS_PATH)
+    assert entries, "tests/verify/corpus.txt must seed at least one entry"
+    return entries
+
+
+class TestRealCorpus:
+    """The tier-1 regression gate over the checked-in corpus."""
+
+    @pytest.mark.parametrize(
+        "entry", _real_corpus(), ids=lambda e: f"{e.oracle}-{e.seed}"
+    )
+    def test_entry_stays_fixed(self, entry):
+        assert replay_entry(entry) == [], (
+            f"corpus regression: oracle {entry.oracle!r} fails again "
+            f"at seed {entry.seed}"
+        )
+
+    def test_corpus_covers_every_oracle(self):
+        # Each oracle gets at least one seeded sentinel entry, so the
+        # replay path itself is exercised for every oracle family.
+        assert {e.oracle for e in _real_corpus()} == set(ORACLES)

@@ -47,6 +47,7 @@ class TestDriver:
             "obs",
             "service",
             "scenario",
+            "fleet",
         ]
 
     def test_oracle_subset(self):
