@@ -44,7 +44,7 @@ from ..cloud.executor import (
 from ..cloud.instance import VMConfig
 from ..cloud.provisioner import DeploymentPlan, StageAssignment
 from ..cloud.tenancy import TenancyModel
-from ..obs import get_metrics
+from ..obs import get_metrics, get_tracer
 from .processes import ChaosInjector, ChaosSpec
 from .topology import CloudTopology, default_topology
 
@@ -124,6 +124,13 @@ class ChaosPlanExecutor(PlanExecutor):
                 region=injector.topology.region_of(az).name,
             )
             get_metrics().counter("chaos.az_reclaims").inc()
+            get_metrics().counter(
+                "chaos.az_reclaims_by_region",
+                region=injector.topology.region_of(az).name,
+            ).inc()
+            get_tracer().event(
+                EventKind.AZ_RECLAIM.value, stage=stage_key, az=az, sim_time=t
+            )
 
     def _fallback_target(
         self,
@@ -158,8 +165,17 @@ class ChaosPlanExecutor(PlanExecutor):
             dst=dst,
             reason="az_reclaim" if az_struck else "storm",
         )
+        get_tracer().event(
+            EventKind.REGION_FAILOVER.value,
+            stage=stage_key,
+            src=src,
+            dst=dst,
+            reason="az_reclaim" if az_struck else "storm",
+            sim_time=t,
+        )
         self._bill_transfer(result, trace, t, stage_key, rec, src, dst, gb, cost)
         get_metrics().counter("chaos.failovers").inc()
+        get_metrics().counter("chaos.failovers_by_region", region=dst).inc()
         self._current_region = dst
         return self.topology.price_in(od, dst)
 
@@ -205,6 +221,10 @@ class ChaosPlanExecutor(PlanExecutor):
         metrics = get_metrics()
         metrics.counter("executor.billed_cost").inc(cost)
         metrics.counter("chaos.transfer_cost").inc(cost)
+        get_tracer().event(
+            EventKind.TRANSFER.value, stage=stage_key, src=src, dst=dst,
+            gb=gb, cost=cost, sim_time=t,
+        )
         vm_label = f"transfer:{src}->{dst}"
         if trace.enabled:
             result.segments.append(

@@ -37,6 +37,10 @@ Exposes the paper's workflow as terminal commands:
 * ``repro report``       — regression dashboard over the run store:
   terminal sparklines, MAD outlier warnings, deterministic-metric drift
   checks (non-zero exit on drift), optional self-contained HTML.
+* ``repro slo``          — evaluate a declarative ``repro-slo/1`` spec
+  (deadline hit rate, percentile latency, cost budgets) over the run
+  store; exit 1 when any error budget is burned, with a byte-stable
+  evaluation document for CI to diff.
 * ``repro serve``        — boot the in-process EDA-flow service, drive a
   seeded mixed-priority job batch through admission control and the
   worker pool, print the byte-stable per-job completion log, and
@@ -444,6 +448,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="only report runs of this kind; matches exactly or by "
         "dotted prefix, e.g. 'service' also selects service.job "
         "(repeatable; default: all kinds)",
+    )
+    p_report.add_argument(
+        "--slo-spec", default=None, metavar="FILE",
+        help="also evaluate this repro-slo/1 spec over the reported runs; "
+        "a violated SLO makes the report exit non-zero",
+    )
+    p_report.add_argument(
+        "--slo-window", type=int, default=0, metavar="N",
+        help="with --slo-spec: error-budget burn per window of N records "
+        "(default: 0 = whole-set burn only)",
+    )
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate a declarative SLO spec over the run store "
+        "(deadline hit rate, percentile latency, cost budgets); exits 1 "
+        "when any objective's error budget is burned",
+    )
+    p_slo.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="repro-slo/1 JSON spec to evaluate",
+    )
+    p_slo.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="telemetry store to read (default: benchmarks/runs/runs.jsonl)",
+    )
+    p_slo.add_argument(
+        "--rev", default=None,
+        help="only evaluate records of this revision (default: all)",
+    )
+    p_slo.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="error-budget burn per window of N records "
+        "(default: 0 = whole-set burn only)",
+    )
+    p_slo.add_argument(
+        "--dump", default=None, metavar="FILE",
+        help="write the full evaluation document as JSON (timestamp-free: "
+        "same records, same bytes — CI cmp's two same-seed runs)",
+    )
+    p_slo.add_argument(
+        "--openmetrics", default=None, metavar="FILE",
+        help="write the evaluated records' merged metrics as OpenMetrics "
+        "text (labeled series, cumulative histogram buckets, # EOF)",
     )
 
     p_serve = sub.add_parser(
@@ -1153,8 +1201,21 @@ def _cmd_report(args) -> int:
     if args.window < 1:
         print("--window must be >= 1", file=sys.stderr)
         return 2
+    slo_spec = None
+    if args.slo_spec:
+        from .obs.slo import SLOSpecError, load_slo_spec
+
+        try:
+            slo_spec = load_slo_spec(args.slo_spec)
+        except SLOSpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     report = build_report(
-        runs, window=args.window, metric_filter=args.metric
+        runs,
+        window=args.window,
+        metric_filter=args.metric,
+        slo_spec=slo_spec,
+        slo_window=max(0, args.slo_window),
     )
     print(render_text(report, store_path=store.path))
     if args.html:
@@ -1165,6 +1226,48 @@ def _cmd_report(args) -> int:
     if not runs:
         return 0
     return 0 if report.ok else 1
+
+
+def _cmd_slo(args) -> int:
+    from .obs.export import to_openmetrics
+    from .obs.metrics import MetricsSnapshot, merge_snapshots
+    from .obs.slo import SLOError, evaluate_slo, load_slo_spec
+    from .obs.store import (
+        DEFAULT_STORE_PATH,
+        RunStore,
+        StoreError,
+        filter_runs,
+    )
+
+    try:
+        spec = load_slo_spec(args.spec)
+    except SLOError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = RunStore(args.store or DEFAULT_STORE_PATH)
+    try:
+        runs = store.load()
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.window < 0:
+        print("--window must be >= 0", file=sys.stderr)
+        return 2
+    report = evaluate_slo(spec, runs, rev=args.rev, window=args.window)
+    for line in report.render():
+        print(line)
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(report.to_json())
+        print(f"evaluation document written to {args.dump}")
+    if args.openmetrics:
+        merged = MetricsSnapshot()
+        for record in filter_runs(runs, kinds=[spec.kind], rev=args.rev):
+            merged = merge_snapshots(merged, record.snapshot)
+        with open(args.openmetrics, "w") as handle:
+            handle.write(to_openmetrics(merged))
+        print(f"OpenMetrics exposition written to {args.openmetrics}")
+    return 1 if report.violated else 0
 
 
 def _cmd_serve(args) -> int:
@@ -1400,6 +1503,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "slo": _cmd_slo,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "fleet": _cmd_fleet,

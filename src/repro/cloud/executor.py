@@ -259,6 +259,7 @@ class PlanExecutor:
         seed: int = 0,
         stage_options: Optional[Sequence] = None,
         record_events: bool = True,
+        trace_context: Optional[str] = None,
     ) -> ExecutionResult:
         """Run ``plan`` under the configured fault profile and policy.
 
@@ -267,12 +268,17 @@ class PlanExecutor:
         re-planning and catalog-accurate on-demand fallback; without it
         the on-demand twin is reconstructed from the spot discount.
 
+        ``trace_context`` stitches every span this run opens into an
+        end-to-end trace id (see :meth:`repro.obs.Tracer.trace`); when
+        omitted, spans inherit whatever binding the caller already holds
+        — the service layer binds one trace per job around the runner.
+
         Runs inside a flight-recorder :func:`crash_scope`: when an
         enabled logger is installed, any unhandled exception dumps the
         recent record tail, the open-span stack, and a metric snapshot
         to a replayable crash report before propagating.
         """
-        with crash_scope("executor", seed):
+        with crash_scope("executor", seed), get_tracer().trace(trace_context):
             return self._execute(
                 plan, deadline_seconds, seed, stage_options, record_events
             )

@@ -31,6 +31,7 @@ from ..cloud.instance import InstanceFamily, VMConfig
 from ..cloud.spot import SpotMarket
 from ..core.optimize import ConfigOption, StageOptions
 from ..eda.job import EDAStage
+from ..obs.spans import mint_trace_id
 from .market import SpotMarketFeed
 from .planner import FleetPlan, FleetPlanner, FlowSpec
 
@@ -212,6 +213,10 @@ class ContinuousSession:
     def _flow_seed(self, flow_id: str) -> int:
         return zlib.crc32(f"{self.seed}:exec:{flow_id}".encode())
 
+    def _flow_trace_id(self, flow_id: str) -> str:
+        """One deterministic trace per executed flow (seed + flow id)."""
+        return mint_trace_id(f"fleet:{flow_id}", self.seed)
+
     def step(self) -> TickReport:
         """Advance one market tick; returns that tick's report."""
         tick = self._tick
@@ -257,6 +262,7 @@ class ContinuousSession:
                     seed=self._flow_seed(spec.flow_id),
                     stage_options=self.live_menus[menu_id],
                     record_events=False,
+                    trace_context=self._flow_trace_id(spec.flow_id),
                 )
                 tick_report.executed.append(spec.flow_id)
                 tick_report.executed_cost += outcome.total_cost

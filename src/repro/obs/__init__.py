@@ -19,7 +19,13 @@ the same discipline to our own hot paths:
 * :mod:`repro.obs.store`   — the append-only multi-run telemetry store
   (JSONL under ``benchmarks/runs/``) with series/percentile queries,
 * :mod:`repro.obs.report`  — the ``repro report`` terminal/HTML
-  regression dashboard (MAD outliers + deterministic-drift checks).
+  regression dashboard (MAD outliers + deterministic-drift checks),
+* :mod:`repro.obs.attrib`  — exact critical-path latency attribution
+  over stitched per-job traces (bucket sums equal end-to-end durations
+  bit-for-bit under tick clocks),
+* :mod:`repro.obs.slo`     — declarative SLO specs (deadline hit rate,
+  percentile latency, cost budgets) evaluated deterministically over
+  the run store, with error-budget burn windows.
 
 The global tracer and logger start **disabled** (instrumented code pays
 one attribute check), the global metric registry is always on
@@ -31,6 +37,14 @@ harness, and the tests isolate their telemetry.
 from contextlib import contextmanager
 from typing import Optional
 
+from .attrib import (
+    BUCKETS,
+    Attribution,
+    AttributionError,
+    attribute_job,
+    attribute_session,
+    attribution_violations,
+)
 from .log import (
     CRASH_SCHEMA,
     LogRecord,
@@ -42,6 +56,7 @@ from .log import (
     set_logger,
     write_crash_report,
 )
+from .export import OpenMetricsError, parse_openmetrics, to_openmetrics
 from .metrics import (
     MAX_BIN,
     MIN_BIN,
@@ -50,12 +65,15 @@ from .metrics import (
     Gauge,
     Histogram,
     HistogramSnapshot,
+    LabelError,
     MetricsRegistry,
     MetricsSnapshot,
     bin_bounds,
     get_metrics,
     histogram_bin,
+    labeled_name,
     merge_snapshots,
+    parse_labeled_name,
     set_metrics,
     snapshot_from_dict,
 )
@@ -73,6 +91,18 @@ from .profile import (
     render_flame_html,
     render_profile,
 )
+from .slo import (
+    SLO_SCHEMA,
+    ObjectiveResult,
+    SLOError,
+    SLOReport,
+    SLOSpec,
+    SLOSpecError,
+    burn_sparkline,
+    evaluate_slo,
+    load_slo_spec,
+    parse_slo_spec,
+)
 from .spans import (
     NULL_SPAN,
     Span,
@@ -80,40 +110,60 @@ from .spans import (
     TickClock,
     Tracer,
     get_tracer,
+    mint_trace_id,
     set_tracer,
     traced,
     well_nested_violations,
 )
 
 __all__ = [
+    "BUCKETS",
     "CRASH_SCHEMA",
     "MAX_BIN",
     "MIN_BIN",
     "PROFILE_SCHEMA",
+    "SLO_SCHEMA",
     "ZERO_BIN",
+    "Attribution",
+    "AttributionError",
     "Counter",
     "FrameStat",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "LabelError",
     "LogRecord",
     "Logger",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_SPAN",
+    "ObjectiveResult",
+    "OpenMetricsError",
     "Profile",
     "ProfileDiff",
+    "SLOError",
+    "SLOReport",
+    "SLOSpec",
+    "SLOSpecError",
     "SamplingProfiler",
     "Span",
     "SpanEvent",
     "TickClock",
     "Tracer",
+    "attribute_job",
+    "attribute_session",
+    "attribution_violations",
     "bin_bounds",
     "build_crash_report",
     "build_profile",
+    "burn_sparkline",
     "diff_profiles",
+    "evaluate_slo",
     "load_profile",
+    "load_slo_spec",
     "parse_folded",
+    "parse_openmetrics",
+    "parse_slo_spec",
     "render_diff",
     "render_flame_html",
     "render_profile",
@@ -123,12 +173,16 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "histogram_bin",
+    "labeled_name",
     "merge_snapshots",
+    "mint_trace_id",
+    "parse_labeled_name",
     "scoped",
     "set_logger",
     "set_metrics",
     "set_tracer",
     "snapshot_from_dict",
+    "to_openmetrics",
     "traced",
     "well_nested_violations",
     "write_crash_report",

@@ -14,25 +14,40 @@ bin ``floor(log2(v))`` (i.e. ``[2**i, 2**(i+1))``), clamped to
 ``[MIN_BIN, MAX_BIN]``; non-positive observations land in
 :data:`ZERO_BIN`.  Fixed bins make snapshots from different processes
 mergeable without rebinning.
+
+**Labels.** Instruments optionally carry a frozen, sorted label set
+(``registry.counter("jobs", region="east", priority="high")``).  Labels
+are encoded *into the instrument name* as a canonical
+``name{key="value",...}`` suffix (keys sorted, values escaped), so the
+snapshot/merge/serialization algebra above is untouched: a labeled
+series is just another name, snapshots stay plain string-keyed dicts,
+and byte-stability is inherited.  :func:`labeled_name` /
+:func:`parse_labeled_name` convert between the two forms; the
+OpenMetrics exporter in :mod:`repro.obs.export` re-parses them into
+proper label sets on the wire.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "LabelError",
     "MetricsRegistry",
     "MetricsSnapshot",
     "merge_snapshots",
     "snapshot_from_dict",
     "histogram_bin",
     "bin_bounds",
+    "labeled_name",
+    "parse_labeled_name",
     "get_metrics",
     "set_metrics",
     "ZERO_BIN",
@@ -63,6 +78,87 @@ def bin_bounds(index: int) -> Tuple[float, float]:
     lo = 2.0 ** index if index > MIN_BIN else 0.0
     hi = 2.0 ** (index + 1) if index < MAX_BIN else float("inf")
     return (lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Labels (canonically encoded into the instrument name)
+# ----------------------------------------------------------------------
+class LabelError(ValueError):
+    """A label key or encoded series name is malformed."""
+
+
+_LABEL_KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SERIES_RE = re.compile(r"^(?P<name>[^{}]+)\{(?P<labels>.*)\}$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def labeled_name(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical series key: ``name{k="v",...}`` with sorted keys.
+
+    Sorting makes the encoding independent of keyword order, so
+    ``counter("x", a=1, b=2)`` and ``counter("x", b=2, a=1)`` are the
+    same series — the frozen-sorted-label-set contract.
+    """
+    if not labels:
+        return name
+    if "{" in name or "}" in name:
+        raise LabelError(f"metric name {name!r} may not contain braces")
+    for key in labels:
+        if not _LABEL_KEY_RE.match(key):
+            raise LabelError(f"invalid label key {key!r}")
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f"{name}{{{body}}}"
+
+
+def parse_labeled_name(series: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Inverse of :func:`labeled_name`: ``(base_name, sorted_label_pairs)``.
+
+    Unlabeled names return an empty pair tuple.  Raises
+    :class:`LabelError` when the label block does not re-serialize to the
+    canonical form (unsorted keys, bad quoting, stray braces).
+    """
+    if "{" not in series:
+        if "}" in series:
+            raise LabelError(f"malformed series name {series!r}")
+        return series, ()
+    match = _SERIES_RE.match(series)
+    if match is None:
+        raise LabelError(f"malformed series name {series!r}")
+    name, body = match.group("name"), match.group("labels")
+    pairs: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        pair = _LABEL_PAIR_RE.match(body, pos)
+        if pair is None:
+            raise LabelError(f"malformed label block in {series!r}")
+        pairs[pair.group(1)] = _unescape_label_value(pair.group(2))
+        pos = pair.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise LabelError(f"malformed label block in {series!r}")
+            pos += 1
+    if labeled_name(name, pairs) != series:
+        raise LabelError(f"non-canonical series name {series!r}")
+    return name, tuple(sorted(pairs.items()))
 
 
 class Counter:
@@ -109,6 +205,11 @@ class Histogram:
         index = histogram_bin(value)
         self.bins[index] = self.bins.get(index, 0) + 1
         self.count += 1
+        if math.isnan(value):
+            # A NaN lands in ZERO_BIN and is counted, but must not touch
+            # the moment fields: NaN propagates through += and poisons
+            # min/max via always-false comparisons.
+            return
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
@@ -155,37 +256,48 @@ class MetricsSnapshot:
 
 
 class MetricsRegistry:
-    """Named instruments, get-or-create by kind."""
+    """Named instruments, get-or-create by kind.
+
+    Instruments accept an optional label set as keyword arguments
+    (``registry.counter("jobs", region="east")``); each distinct label
+    combination is its own series, keyed by the canonical
+    :func:`labeled_name` string.  A base name is bound to a single
+    instrument kind across all of its label sets, so one OpenMetrics
+    family never mixes types.
+    """
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Base name -> instrument kind, enforced across label sets.
+        self._kinds: Dict[str, str] = {}
 
     def _check_free(self, name: str, kind: str) -> None:
-        for other_kind, table in (
-            ("counter", self._counters),
-            ("gauge", self._gauges),
-            ("histogram", self._histograms),
-        ):
-            if other_kind != kind and name in table:
-                raise ValueError(
-                    f"metric {name!r} already registered as a {other_kind}"
-                )
+        base, _ = parse_labeled_name(name)
+        bound = self._kinds.get(base)
+        if bound is not None and bound != kind:
+            raise ValueError(
+                f"metric {base!r} already registered as a {bound}"
+            )
+        self._kinds[base] = kind
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, **labels) -> Counter:
+        name = labeled_name(name, labels)
         if name not in self._counters:
             self._check_free(name, "counter")
             self._counters[name] = Counter()
         return self._counters[name]
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, **labels) -> Gauge:
+        name = labeled_name(name, labels)
         if name not in self._gauges:
             self._check_free(name, "gauge")
             self._gauges[name] = Gauge()
         return self._gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, **labels) -> Histogram:
+        name = labeled_name(name, labels)
         if name not in self._histograms:
             self._check_free(name, "histogram")
             self._histograms[name] = Histogram()
@@ -213,6 +325,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._kinds.clear()
 
 
 def merge_snapshots(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot:
@@ -220,6 +333,15 @@ def merge_snapshots(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot:
 
     Counters and histograms add; gauges take ``b``'s value when it wrote
     one (last write wins, matching sequential registry semantics).
+
+    The gauge rule is the pinned contract for conflicting series names —
+    ``merge_snapshots(a, b)`` never raises on a gauge collision, it keeps
+    ``b``'s value, and the operation is deliberately *not* commutative
+    for gauges (it is for counters and histograms).  Labeled series make
+    same-name collisions far more common (every shard exports
+    ``up{region=...}``-style gauges), so merge order is part of the API:
+    merge in observation order and the result matches one sequential
+    registry byte-for-byte.
     """
     counters = dict(a.counters)
     for name, value in b.counters.items():

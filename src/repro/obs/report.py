@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .slo import SLOReport, SLOSpec, evaluate_slo
 from .store import (
     RunRecord,
     histogram_percentile,
@@ -66,6 +67,11 @@ DETERMINISTIC_METRICS: Tuple[str, ...] = (
     # of the session seed.
     "service.job.total_cost",
     "service.job.sim_seconds",
+    # The deadline verdict and the deadline itself are pure functions of
+    # the job seed (the executor simulation is), so they drift-gate too —
+    # which transitively pins the SLO engine's deadline-hit-rate input.
+    "service.job.met_deadline",
+    "service.job.deadline_seconds",
     "service.sweep.knee_workers",
     # Chaos scenarios: one (scenario, seed, severity) cell is one run of
     # a deterministic discrete-event simulation — exact replay required.
@@ -144,10 +150,15 @@ class RunReport:
     scenario_sweeps: List[ScenarioRow] = field(default_factory=list)
     drift: List[RegressionFlag] = field(default_factory=list)
     window: int = 8
+    #: SLO evaluation over the same runs, when a spec was supplied.
+    slo: Optional[SLOReport] = None
 
     @property
     def ok(self) -> bool:
-        """True iff no deterministic metric drifted (MAD flags warn only)."""
+        """True iff no deterministic metric drifted and no SLO is violated
+        (MAD flags warn only)."""
+        if self.slo is not None and self.slo.violated:
+            return False
         return not self.drift
 
     @property
@@ -316,10 +327,20 @@ def build_report(
     window: int = 8,
     metric_filter: Optional[Sequence[str]] = None,
     deterministic_metrics: Sequence[str] = DETERMINISTIC_METRICS,
+    slo_spec: Optional[SLOSpec] = None,
+    slo_window: int = 0,
 ) -> RunReport:
-    """Assemble the full report: rows, histogram summaries, drift flags."""
+    """Assemble the full report: rows, histogram summaries, drift flags.
+
+    When ``slo_spec`` is given the report also carries its evaluation
+    (burn windows sized by ``slo_window``) and a violated SLO makes the
+    report not-``ok`` — ``repro report`` then exits non-zero exactly
+    like deterministic drift does.
+    """
     runs = list(runs)
     report = RunReport(runs=runs, window=window)
+    if slo_spec is not None:
+        report.slo = evaluate_slo(slo_spec, runs, window=slo_window)
     if not runs:
         return report
 
@@ -423,6 +444,8 @@ def render_text(report: RunReport, store_path: str = "") -> str:
                 f"{int(frame.get('calls', 0)):>6} calls  "
                 f"{frame.get('path', '')}"
             )
+    if report.slo is not None:
+        lines.extend(report.slo.render())
     if report.drift:
         lines.append(
             f"DETERMINISTIC DRIFT: {len(report.drift)} metric group(s) "
@@ -647,6 +670,42 @@ def render_html(report: RunReport, store_path: str = "") -> str:
                 f'<td class="num">+{sweep.time_overruns[-1]:,.1f}s</td>'
                 f"<td>{_spark_svg(sweep.cost_overruns)}</td>"
                 f'<td class="num">+${sweep.cost_overruns[-1]:.4f}</td></tr>'
+            )
+        parts.append("</table>")
+
+    if report.slo is not None:
+        slo = report.slo
+        verdict = "VIOLATED" if slo.violated else "ok"
+        parts.append(
+            f"<h2>SLO: {_escape(slo.spec.name)} ({verdict})</h2><table>"
+        )
+        parts.append(
+            "<tr><th>objective</th><th>type</th><th>value</th>"
+            "<th>target</th><th>burn</th><th>burn per window</th>"
+            "<th>verdict</th></tr>"
+        )
+        for result in slo.results:
+            if result.no_data:
+                verdict_cell = "pass (no data)"
+            elif result.passed:
+                verdict_cell = "pass"
+            else:
+                verdict_cell = (
+                    '<span class="flag-drift"><span class="chip">'
+                    "✗ violated</span></span>"
+                )
+            value = "-" if result.value is None else f"{result.value:.6g}"
+            burn = "-" if result.burn is None else f"{result.burn:.3f}"
+            # Sparkline over burn per window; empty windows plot as 0.
+            burns = [b if b is not None else 0.0 for b in result.windows]
+            parts.append(
+                f"<tr><td>{_escape(result.name)}</td>"
+                f"<td>{_escape(result.type)}</td>"
+                f'<td class="num">{value}</td>'
+                f'<td class="num">{result.target:.6g}</td>'
+                f'<td class="num">{burn}</td>'
+                f"<td>{_spark_svg(burns)}</td>"
+                f"<td>{verdict_cell}</td></tr>"
             )
         parts.append("</table>")
 

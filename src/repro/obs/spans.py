@@ -25,6 +25,7 @@ from __future__ import annotations
 import functools
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -37,9 +38,22 @@ __all__ = [
     "NULL_SPAN",
     "get_tracer",
     "set_tracer",
+    "mint_trace_id",
     "traced",
     "well_nested_violations",
 ]
+
+
+def mint_trace_id(component: str, seed: int, index: int = 0) -> str:
+    """Deterministic 16-hex-digit trace id, never wall-clock derived.
+
+    Uses the repo-wide crc32 stream construction (two independent
+    streams over the ``component:seed:index`` triple), so the same
+    seeded workload mints byte-identical trace ids on every run.
+    """
+    hi = zlib.crc32(f"trace:{component}:{seed}:{index}".encode())
+    lo = zlib.crc32(f"trace:{index}:{seed}:{component}".encode())
+    return f"{hi:08x}{lo:08x}"
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,9 @@ class Span:
     tags: Dict[str, object] = field(default_factory=dict)
     events: List[SpanEvent] = field(default_factory=list)
     end: Optional[float] = None
+    #: End-to-end trace this span belongs to (inherited from the parent
+    #: span or the tracer's active :meth:`Tracer.trace` binding).
+    trace_id: Optional[str] = None
     #: The owning tracer's clock, used to default event timestamps.
     #: Excluded from repr/compare so traces stay value-comparable.
     clock: Optional[Callable[[], float]] = field(
@@ -72,6 +89,18 @@ class Span:
     @property
     def finished(self) -> bool:
         return self.end is not None
+
+    @property
+    def uid(self) -> str:
+        """Globally meaningful span id: crc32 of ``trace_id:span_id``.
+
+        Within one tracer ``span_id`` (the allocation counter) is already
+        deterministic; the uid folds the trace id in so spans stitched
+        from different traces stay distinguishable after export.
+        """
+        if self.trace_id is None:
+            return f"{self.span_id:08x}"
+        return f"{zlib.crc32(f'{self.trace_id}:{self.span_id}'.encode()):08x}"
 
     @property
     def duration(self) -> float:
@@ -107,6 +136,7 @@ class _NullSpan:
     __slots__ = ()
     span_id = -1
     parent_id = None
+    trace_id = None
     name = ""
     tags: Dict[str, object] = {}
     events: List[SpanEvent] = []
@@ -162,10 +192,13 @@ class Tracer:
     ----------
     clock:
         Zero-argument callable returning seconds.  Defaults to
-        ``time.perf_counter`` (monotonic); ignored when
-        ``deterministic=True``.
+        ``time.perf_counter`` (monotonic), or a fresh :class:`TickClock`
+        when ``deterministic=True``.  An explicitly passed clock is
+        always honored — the service layer shares one tick clock between
+        its job state machine and its tracer so history edges and span
+        boundaries interleave on a single timeline.
     deterministic:
-        Use a :class:`TickClock` so timestamps (and therefore the whole
+        Use a counting tick clock so timestamps (and therefore the whole
         trace) are reproducible byte-for-byte.
     enabled:
         Disabled tracers record nothing and yield :data:`NULL_SPAN`.
@@ -177,7 +210,7 @@ class Tracer:
         deterministic: bool = False,
         enabled: bool = True,
     ):
-        if deterministic:
+        if deterministic and clock is None:
             clock = TickClock()
         self.clock = clock if clock is not None else time.perf_counter
         self.deterministic = deterministic
@@ -200,10 +233,46 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _trace_stack(self) -> List[str]:
+        stack = getattr(self._local, "traces", None)
+        if stack is None:
+            stack = self._local.traces = []
+        return stack
+
     def current(self) -> Optional[Span]:
         """The innermost open span on this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    # -- trace context ----------------------------------------------------
+    @contextmanager
+    def trace(self, trace_id: Optional[str]):
+        """Bind spans opened on this thread to ``trace_id`` (nestable).
+
+        Spans inherit their trace id from the parent span first, then
+        from the innermost active binding, so binding around a job's
+        whole execution stitches every component's spans (service,
+        planner, executor, chaos) into one end-to-end trace.  Passing
+        ``None`` (or using a disabled tracer) is a no-op.
+        """
+        if not self.enabled or trace_id is None:
+            yield trace_id
+            return
+        stack = self._trace_stack()
+        stack.append(trace_id)
+        try:
+            yield trace_id
+        finally:
+            stack.pop()
+
+    def current_trace_id(self) -> Optional[str]:
+        """The innermost trace binding on this thread, if any."""
+        stack = self._trace_stack()
+        return stack[-1] if stack else None
+
+    def spans_for_trace(self, trace_id: str) -> List[Span]:
+        """All spans stitched into ``trace_id``, in allocation order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def open_stack(self) -> List[Span]:
         """Copy of this thread's open-span stack, outermost first."""
@@ -234,6 +303,10 @@ class Tracer:
     def _record_span(self, name: str, tags: Dict[str, object]):
         stack = self._stack()
         parent = stack[-1] if stack else None
+        if parent is not None and parent.trace_id is not None:
+            trace_id = parent.trace_id
+        else:
+            trace_id = self.current_trace_id()
         with self._lock:
             span = Span(
                 span_id=len(self.spans),
@@ -242,6 +315,7 @@ class Tracer:
                 start=self.clock(),
                 thread=threading.current_thread().name,
                 tags=dict(tags),
+                trace_id=trace_id,
                 clock=self.clock,
             )
             self.spans.append(span)

@@ -47,6 +47,7 @@ __all__ = [
     "StoreError",
     "StoreSchemaError",
     "StoreCorruptError",
+    "EmptyHistogramError",
     "RunRecord",
     "RunStore",
     "bench_to_run",
@@ -76,6 +77,15 @@ class StoreSchemaError(StoreError):
 
 class StoreCorruptError(StoreError):
     """A store line is not valid JSON or lacks required fields."""
+
+
+class EmptyHistogramError(StoreError):
+    """A percentile was requested from a histogram with zero observations.
+
+    Raised instead of letting NaN fall out of the bin walk — callers that
+    tolerate missing data (the report renderer, the SLO engine's no-data
+    path) catch this by name.
+    """
 
 
 @dataclass(frozen=True)
@@ -305,12 +315,16 @@ def histogram_percentile(hist: HistogramSnapshot, q: float) -> float:
     Walks the sorted bins to the one holding the q-th observation and
     returns that bin's geometric midpoint, clamped to the histogram's
     observed min/max (so p0/p100 are exact).  The zero bin reports its
-    true minimum (non-positive observations carry no spread).
+    true minimum (non-positive observations carry no spread).  An empty
+    histogram (``count == 0``) raises :class:`EmptyHistogramError` — a
+    percentile of nothing is a caller bug, not a NaN.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
     if hist.count == 0:
-        return float("nan")
+        raise EmptyHistogramError(
+            f"cannot take p{q:g} of an empty histogram"
+        )
     if q == 0.0 and hist.min is not None:
         return float(hist.min)
     if q == 100.0 and hist.max is not None:
@@ -341,9 +355,13 @@ def percentile_summary(
     name: str,
     percentiles: Sequence[float] = (50.0, 90.0, 99.0),
 ) -> Dict[str, float]:
-    """``{"p50": ..., ...}`` for one histogram merged across runs."""
+    """``{"p50": ..., ...}`` for one histogram merged across runs.
+
+    Returns ``{}`` when no run recorded the histogram *or* the merged
+    histogram is empty — the summary never raises on missing data.
+    """
     hist = merged_histogram(runs, name)
-    if hist is None:
+    if hist is None or hist.count == 0:
         return {}
     return {
         f"p{int(q) if float(q).is_integer() else q}": histogram_percentile(

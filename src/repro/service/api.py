@@ -27,8 +27,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..obs import MetricsRegistry, Tracer
-from ..obs.spans import TickClock
+from ..obs import MetricsRegistry, Tracer, merge_snapshots
+from ..obs.attrib import attribute_session
+from ..obs.spans import TickClock, mint_trace_id
 from ..obs.store import RunRecord
 from .errors import JobNotFoundError, NotCancellableError, ServiceError
 from .jobs import Job, JobContext, JobRequest, JobState, job_to_run
@@ -82,7 +83,13 @@ class EDAService:
         self.clock: Callable[[], float] = (
             TickClock() if self.config.deterministic else _monotonic()
         )
-        self.tracer = Tracer(deterministic=self.config.deterministic)
+        # The tracer shares the service clock: job history edges and span
+        # boundaries interleave on one timeline, which is what makes the
+        # critical-path attribution in repro.obs.attrib exact (bucket
+        # sums equal end-to-end durations bit-for-bit under tick clocks).
+        self.tracer = Tracer(
+            clock=self.clock, deterministic=self.config.deterministic
+        )
         self.registry = MetricsRegistry()
         self.queue = JobQueue(depth=self.config.queue_depth)
         limiter = (
@@ -104,6 +111,7 @@ class EDAService:
             mode=self.config.mode,
             crash_dir=self.config.crash_dir,
             on_terminal=self._on_terminal,
+            tracer=self.tracer,
         )
         self.jobs: Dict[str, Job] = {}
         self.terminal_order: List[str] = []
@@ -136,6 +144,13 @@ class EDAService:
                 raise
             self._seq += 1
             self.jobs[job.job_id] = job
+            # One trace per admitted job, minted deterministically from
+            # the request seed and the admission sequence number.  The
+            # submit span joins it retroactively (the id exists only
+            # once admission succeeded — rejected submits stay unstitched).
+            job.trace_id = mint_trace_id("service", job.request.seed, job.seq)
+            span.trace_id = job.trace_id
+            span.set_tag("trace_id", job.trace_id)
             # Jobs are born QUEUED; record the admission edge directly.
             job.history.append((JobState.QUEUED.value, self.clock()))
             self.registry.counter("service.admitted").inc()
@@ -232,10 +247,25 @@ class EDAService:
         """Run-store records: one per terminal job plus a session record.
 
         ``timestamp_utc`` is stamped by the caller (the CLI boundary) —
-        the service itself never reads wall-clock time.
+        the service itself never reads wall-clock time.  Under the
+        deterministic configuration each job record also carries its
+        exact latency attribution (``labels["attrib"]``), and the session
+        record's metrics gain labeled latency/attribution histograms —
+        computed into a *fresh* registry each call so ``records()`` stays
+        idempotent.
         """
+        attribs = {}
+        if self.config.deterministic and self.tracer.enabled:
+            attribs = {a.job_id: a for a in attribute_session(self)}
         out = [
-            job_to_run(self.jobs[job_id], self.config.rev, timestamp_utc)
+            job_to_run(
+                self.jobs[job_id],
+                self.config.rev,
+                timestamp_utc,
+                attribution=(
+                    attribs[job_id].to_dict() if job_id in attribs else None
+                ),
+            )
             for job_id in self.terminal_order
         ]
         labels: Dict[str, object] = {
@@ -252,6 +282,23 @@ class EDAService:
                 for job_id in sorted(self.jobs)
             },
         }
+        snapshot = self.registry.snapshot()
+        if attribs:
+            extra = MetricsRegistry()
+            for job_id in self.terminal_order:
+                a = attribs[job_id]
+                request = self.jobs[job_id].request
+                for bucket, value in a.buckets:
+                    extra.histogram(
+                        "service.attrib_ticks", bucket=bucket
+                    ).observe(value)
+                extra.histogram("service.latency_ticks").observe(a.total)
+                extra.histogram(
+                    "service.latency_ticks",
+                    job_kind=request.kind,
+                    priority=str(request.priority),
+                ).observe(a.total)
+            snapshot = merge_snapshots(snapshot, extra.snapshot())
         out.append(
             RunRecord(
                 kind="service",
@@ -259,7 +306,7 @@ class EDAService:
                 seed=0,
                 timestamp_utc=timestamp_utc,
                 labels=labels,
-                metrics=self.registry.snapshot().to_dict(),
+                metrics=snapshot.to_dict(),
             )
         )
         return out
@@ -267,12 +314,16 @@ class EDAService:
     # -- internals --------------------------------------------------------
 
     def _traced_runner(self, job: Job, ctx: JobContext) -> dict:
+        # The pool has already bound job.trace_id on this thread, so this
+        # span — and every descendant the runner/executor opens — stitches
+        # into the job's end-to-end trace.
         with self.tracer.span(
             "service.job",
             job_id=job.job_id,
             kind=job.request.kind,
             priority=job.request.priority,
             client=job.request.client,
+            trace_id=job.trace_id,
         ):
             return self.runner(job, ctx)
 
@@ -318,6 +369,9 @@ class EDAService:
             return False
         self._seq += 1
         self.jobs[clone.job_id] = clone
+        clone.trace_id = mint_trace_id(
+            "service", clone.request.seed, clone.seq
+        )
         clone.history.append((JobState.QUEUED.value, self.clock()))
         self.registry.counter("service.requeued").inc()
         self._idle.clear()

@@ -146,6 +146,11 @@ class Job:
     requeues: int = 0
     #: Job id of the evicted incarnation this job re-runs, if any.
     requeue_of: Optional[str] = None
+    #: Deterministic end-to-end trace id minted by the service at
+    #: admission (:func:`repro.obs.spans.mint_trace_id`); every span the
+    #: job's execution opens — service, planner, executor, chaos — is
+    #: stitched under it.  Requeued incarnations get fresh trace ids.
+    trace_id: Optional[str] = None
     #: Per-job metric snapshot (``MetricsSnapshot.to_dict()``), recorded
     #: by the pool in inline mode — the multi-job billing oracle compares
     #: these counters against the job's own execution trace.
@@ -222,13 +227,22 @@ class JobContext:
             raise JobTimeout(self.job.job_id)
 
 
-def job_to_run(job: Job, rev: str, timestamp_utc: str) -> RunRecord:
+def job_to_run(
+    job: Job,
+    rev: str,
+    timestamp_utc: str,
+    attribution: Optional[dict] = None,
+) -> RunRecord:
     """Convert one terminal job into a ``repro-runs/1`` store record.
 
     The record's ``kind`` is ``service.job`` and its labels carry the
     lifecycle (state, priority, client, pipeline kind, history), so the
     dashboard can group and drift-check per-job billing counters the
-    same way it gates bench runs.
+    same way it gates bench runs.  ``attribution`` (an
+    :meth:`repro.obs.attrib.Attribution.to_dict` document) rides along in
+    the labels when the caller computed one, and jobs that executed a
+    plan surface their deadline verdict as ``labels["met_deadline"]`` —
+    the field the SLO engine's deadline-hit-rate objective reads.
     """
     if not job.terminal:
         raise ValueError(f"job {job.job_id} is not terminal ({job.state.value})")
@@ -241,6 +255,16 @@ def job_to_run(job: Job, rev: str, timestamp_utc: str) -> RunRecord:
         "design": job.request.design,
         "history": [list(edge) for edge in job.history],
     }
+    if job.trace_id is not None:
+        labels["trace_id"] = job.trace_id
+    if attribution is not None:
+        labels["attrib"] = attribution
+    result = job.result if isinstance(job.result, dict) else {}
+    met = result.get("met_deadline")
+    if met is None and isinstance(result.get("execution"), dict):
+        met = result["execution"].get("met_deadline")
+    if met is not None:
+        labels["met_deadline"] = bool(met)
     if job.error is not None:
         labels["error"] = job.error
     if job.external_cancel is not None:

@@ -39,7 +39,7 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Dict, List, Optional
 
-from ..obs import MetricsRegistry, get_logger, scoped
+from ..obs import MetricsRegistry, Tracer, get_logger, get_tracer, scoped
 from ..obs.log import build_crash_report, write_crash_report
 from .errors import JobCancelled, JobEvicted, JobTimeout, ServiceError
 from .jobs import Job, JobContext, JobState
@@ -60,6 +60,7 @@ class WorkerPool:
         mode: str = "inline",
         crash_dir: Optional[str] = None,
         on_terminal: Optional[Callable[[Job], None]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -72,6 +73,11 @@ class WorkerPool:
         self.mode = mode
         self.crash_dir = crash_dir
         self.on_terminal = on_terminal
+        #: Installed as the global tracer around each inline job (the
+        #: same swap discipline as the per-job metric registry), so
+        #: runner-internal spans land on the service's tracer and under
+        #: the job's trace id.
+        self.tracer = tracer
         self.active = 0
         self.slots_acquired = 0
         self.slots_released = 0
@@ -156,10 +162,12 @@ class WorkerPool:
         try:
             if self.mode == "inline":
                 registry = MetricsRegistry()
+                tracer = self.tracer if self.tracer is not None else get_tracer()
                 try:
-                    with scoped(metrics=registry):
-                        ctx.checkpoint()
-                        result = self.runner(job, ctx)
+                    with scoped(metrics=registry, tracer=self.tracer):
+                        with tracer.trace(job.trace_id):
+                            ctx.checkpoint()
+                            result = self.runner(job, ctx)
                 finally:
                     job.metrics = registry.snapshot().to_dict()
             else:

@@ -151,9 +151,13 @@ class PipelineRunner:
         metrics = get_metrics()
         metrics.gauge("service.job.total_cost").set(outcome.total_cost)
         metrics.gauge("service.job.sim_seconds").set(outcome.total_time)
+        met_deadline = bool(outcome.met_deadline)
+        metrics.gauge("service.job.met_deadline").set(float(met_deadline))
+        metrics.gauge("service.job.deadline_seconds").set(deadline * 4.0)
         return {
             "completed": outcome.completed,
             "replanned": outcome.replanned,
+            "met_deadline": met_deadline,
             "total_time": outcome.total_time,
             "total_cost": outcome.total_cost,
             "billed_seconds": outcome.trace.billed_seconds,

@@ -117,6 +117,16 @@ def _fleet_trial(rng: random.Random) -> List[str]:
     return oracles.fleet_violations(menus, flows)
 
 
+def _attrib_trial(rng: random.Random) -> List[str]:
+    requests, workers, depth = generators.random_service_case(rng)
+    return oracles.attrib_violations(requests, workers, depth)
+
+
+def _slo_trial(rng: random.Random) -> List[str]:
+    requests, workers, depth = generators.random_service_case(rng)
+    return oracles.slo_violations(requests, workers, depth)
+
+
 #: Registered oracles, in report order.
 ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "mckp": _mckp_trial,
@@ -130,6 +140,8 @@ ORACLES: Dict[str, Callable[[random.Random], List[str]]] = {
     "service": _service_trial,
     "scenario": _scenario_trial,
     "fleet": _fleet_trial,
+    "attrib": _attrib_trial,
+    "slo": _slo_trial,
 }
 
 

@@ -73,6 +73,8 @@ __all__ = [
     "service_violations",
     "chaos_scenario_violations",
     "fleet_violations",
+    "attrib_violations",
+    "slo_violations",
 ]
 
 #: Relative tolerance for floating-point objective comparisons.
@@ -1152,4 +1154,187 @@ def fleet_violations(menus, flows) -> List[str]:
                     f"{group.menu_id}@{group.capacity} certified gap "
                     f"{group.certified_gap!r} below true gap {true_gap!r}"
                 )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Attribution: exact bucket decomposition of end-to-end job latency
+# ----------------------------------------------------------------------
+def attrib_violations(requests: Sequence, workers: int, depth: int) -> List[str]:
+    """Audit critical-path attribution for one seeded service session.
+
+    * **exactness** — for every terminal job the bucket sum equals the
+      end-to-end duration **bit-for-bit** (``==`` on floats, never a
+      tolerance), every bucket is non-negative, and jobs cancelled in
+      the queue attribute nothing past ``queue_wait``
+      (:func:`repro.obs.attrib.attribution_violations`);
+    * **coverage** — one attribution per terminal job, in terminal
+      order, each carrying the job's trace id;
+    * **record stitching** — ``records()`` embeds the same attribution
+      document in each job record and is idempotent (calling it twice
+      yields byte-identical documents, labeled histograms included);
+    * **replay determinism** — a second same-request session produces
+      the byte-identical attribution list.
+    """
+    import json
+
+    from ..obs.attrib import attribute_session, attribution_violations
+    from ..service import ServiceConfig, run_session
+
+    out: List[str] = []
+    config = ServiceConfig(workers=workers, queue_depth=depth)
+    first = run_session(requests, config)
+    service = first.service
+
+    out.extend(f"attrib: {v}" for v in attribution_violations(service))
+
+    attribs = attribute_session(service)
+    for a in attribs:
+        job = service.jobs[a.job_id]
+        if a.trace_id != job.trace_id:
+            out.append(
+                f"attrib: {a.job_id} trace id {a.trace_id!r} != job's "
+                f"{job.trace_id!r}"
+            )
+
+    stamp = "2026-01-01T00:00:00Z"
+    docs1 = [r.to_dict() for r in service.records(stamp)]
+    docs2 = [r.to_dict() for r in service.records(stamp)]
+    if json.dumps(docs1, sort_keys=True) != json.dumps(docs2, sort_keys=True):
+        out.append("attrib: records() is not idempotent")
+    by_job = {a.job_id: a for a in attribs}
+    for doc in docs1[:-1]:
+        job_id = doc["labels"].get("job_id")
+        embedded = doc["labels"].get("attrib")
+        expected = by_job[job_id].to_dict() if job_id in by_job else None
+        if embedded != expected:
+            out.append(
+                f"attrib: record for {job_id} embeds {embedded!r}, "
+                f"expected {expected!r}"
+            )
+    session_hists = docs1[-1]["metrics"].get("histograms", {})
+    latency = session_hists.get("service.latency_ticks")
+    if attribs and (
+        latency is None or latency.get("count") != len(attribs)
+    ):
+        out.append(
+            f"attrib: session latency histogram count "
+            f"{None if latency is None else latency.get('count')} != "
+            f"{len(attribs)} attributed jobs"
+        )
+
+    second = run_session(requests, config)
+    replay = [a.to_dict() for a in attribute_session(second.service)]
+    if json.dumps(replay, sort_keys=True) != json.dumps(
+        [a.to_dict() for a in attribs], sort_keys=True
+    ):
+        out.append("attrib: attribution not byte-stable across replays")
+    return out
+
+
+# ----------------------------------------------------------------------
+# SLO engine: burn/violation equivalence and byte-stable evaluation
+# ----------------------------------------------------------------------
+def slo_violations(requests: Sequence, workers: int, depth: int) -> List[str]:
+    """Audit the SLO engine over one seeded service session's records.
+
+    * **burn equivalence** — for every objective with data,
+      ``burn > 1`` holds *iff* the objective failed (the two fields can
+      never disagree), and no-data objectives pass vacuously;
+    * **window partition** — with window size ``w`` the per-objective
+      burn series has exactly ``ceil(records / w)`` entries, and the
+      whole-set burn matches an independent recomputation from the
+      report's own value/target fields;
+    * **byte stability** — evaluating twice over the same records, and
+      over a second same-seed session, yields byte-identical report
+      JSON and render lines.
+    """
+    import json
+    import math
+
+    from ..obs.slo import evaluate_slo, parse_slo_spec
+    from ..service import ServiceConfig, run_session
+
+    out: List[str] = []
+    config = ServiceConfig(workers=workers, queue_depth=depth)
+    first = run_session(requests, config)
+    stamp = "2026-01-01T00:00:00Z"
+    records = first.service.records(stamp)
+
+    spec = parse_slo_spec(
+        {
+            "schema": "repro-slo/1",
+            "name": "fuzz-slo",
+            "kind": "service",
+            "objectives": [
+                {
+                    "name": "deadline-hit-rate",
+                    "type": "ratio",
+                    "label": "met_deadline",
+                    "objective": 0.5,
+                },
+                {
+                    "name": "p99-latency",
+                    "type": "latency",
+                    "metric": "service.latency_ticks",
+                    "percentile": 99.0,
+                    "threshold": 40.0,
+                },
+                {
+                    "name": "cost-budget",
+                    "type": "cost",
+                    "metric": "executor.billed_cost",
+                    "budget": 0.001,
+                },
+            ],
+        }
+    )
+    window = max(1, workers)
+    report = evaluate_slo(spec, records, window=window)
+
+    for result in report.results:
+        if result.no_data:
+            if not result.passed or result.burn is not None:
+                out.append(
+                    f"slo: no-data objective {result.name} must pass "
+                    f"vacuously with burn=None"
+                )
+            continue
+        if result.burn is None or result.value is None:
+            out.append(f"slo: objective {result.name} has data but no burn")
+            continue
+        if (result.burn > 1.0) == result.passed:
+            out.append(
+                f"slo: objective {result.name} burn {result.burn!r} "
+                f"disagrees with passed={result.passed}"
+            )
+        if result.type == "ratio":
+            expected = (1.0 - result.value) / (1.0 - result.target)
+        else:
+            expected = result.value / result.target
+        if result.burn != expected:
+            out.append(
+                f"slo: objective {result.name} burn {result.burn!r} != "
+                f"recomputed {expected!r}"
+            )
+        expected_windows = math.ceil(report.records / window)
+        if len(result.windows) != expected_windows:
+            out.append(
+                f"slo: objective {result.name} has {len(result.windows)} "
+                f"burn windows != ceil({report.records}/{window}) = "
+                f"{expected_windows}"
+            )
+    if report.violated != any(not r.passed for r in report.results):
+        out.append("slo: report verdict disagrees with objective verdicts")
+
+    again = evaluate_slo(spec, records, window=window)
+    if again.to_json() != report.to_json() or again.render() != report.render():
+        out.append("slo: same-records evaluation is not byte-stable")
+
+    second = run_session(requests, config)
+    replay = evaluate_slo(
+        spec, second.service.records(stamp), window=window
+    )
+    if replay.to_json() != report.to_json():
+        out.append("slo: same-seed session evaluation is not byte-stable")
     return out

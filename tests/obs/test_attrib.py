@@ -1,0 +1,154 @@
+"""Critical-path attribution: exact bucket sums over stitched job traces."""
+
+import json
+
+import pytest
+
+from repro.obs.attrib import (
+    BUCKETS,
+    Attribution,
+    AttributionError,
+    attribute_job,
+    attribute_session,
+    attribution_violations,
+)
+from repro.obs.spans import mint_trace_id
+from repro.service import JobRequest, ServiceConfig, run_session
+
+
+def _session(seed=11, jobs=8, workers=2, cancel=None):
+    from repro.service import seeded_job_mix
+
+    return run_session(
+        seeded_job_mix(seed, jobs),
+        ServiceConfig(workers=workers),
+        cancel=cancel,
+    )
+
+
+class TestExactness:
+    def test_bucket_sums_equal_totals_bit_for_bit(self):
+        service = _session().service
+        for a in attribute_session(service):
+            total = 0.0
+            for _, value in a.buckets:
+                total += value
+                assert value >= 0.0
+            assert total == a.total  # exact float equality, no tolerance
+
+    def test_violation_checker_is_clean_on_seeded_session(self):
+        assert attribution_violations(_session().service) == []
+
+    def test_every_terminal_job_is_attributed_in_order(self):
+        service = _session().service
+        attribs = attribute_session(service)
+        assert [a.job_id for a in attribs] == list(service.terminal_order)
+        for a in attribs:
+            assert a.trace_id == service.jobs[a.job_id].trace_id
+
+    def test_bucket_order_is_canonical(self):
+        a = attribute_session(_session().service)[0]
+        assert tuple(k for k, _ in a.buckets) == BUCKETS
+        assert tuple(a.to_dict()["buckets"]) == BUCKETS
+
+
+class TestQueueCancelled:
+    def test_cancelled_in_queue_attributes_only_wait(self):
+        # One worker; cancel the last submitted job before anything
+        # completes — it dies in the queue.
+        requests = [
+            JobRequest(kind="sleep", params={"steps": 2}, priority=1)
+            for _ in range(3)
+        ]
+        result = run_session(
+            requests, ServiceConfig(workers=1), cancel={2: 0}
+        )
+        service = result.service
+        cancelled = [
+            job for job in service.jobs.values()
+            if job.state.value == "cancelled"
+        ]
+        assert cancelled
+        attribs = {a.job_id: a for a in attribute_session(service)}
+        for job in cancelled:
+            a = attribs[job.job_id]
+            assert a.bucket("planning") == 0.0
+            assert a.bucket("execution") == 0.0
+            assert a.bucket("dispatch") == 0.0
+            assert a.bucket("admission") + a.bucket("queue_wait") == a.total
+
+
+class TestExecutionBuckets:
+    def test_execute_jobs_get_execution_ticks(self):
+        service = _session(seed=42, jobs=12).service
+        attribs = {a.job_id: a for a in attribute_session(service)}
+        execute_jobs = [
+            job_id
+            for job_id in service.terminal_order
+            if service.jobs[job_id].request.kind == "execute"
+        ]
+        assert execute_jobs
+        for job_id in execute_jobs:
+            assert attribs[job_id].bucket("execution") > 0.0
+
+    def test_non_execute_jobs_have_no_execution(self):
+        service = _session(seed=42, jobs=12).service
+        for a in attribute_session(service):
+            if service.jobs[a.job_id].request.kind in ("flow", "plan"):
+                assert a.bucket("execution") == 0.0
+                assert a.bucket("fault_retry") == 0.0
+
+
+class TestReplay:
+    def test_attribution_is_byte_stable_across_sessions(self):
+        first = [a.to_dict() for a in attribute_session(_session().service)]
+        second = [a.to_dict() for a in attribute_session(_session().service)]
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_records_embed_attribution_and_stay_idempotent(self):
+        service = _session().service
+        stamp = "2026-01-01T00:00:00Z"
+        docs1 = [r.to_dict() for r in service.records(stamp)]
+        docs2 = [r.to_dict() for r in service.records(stamp)]
+        assert docs1 == docs2
+        job_docs = docs1[:-1]
+        assert all("attrib" in d["labels"] for d in job_docs)
+        session = docs1[-1]
+        hists = session["metrics"]["histograms"]
+        assert hists["service.latency_ticks"]["count"] == len(job_docs)
+        assert 'service.attrib_ticks{bucket="queue_wait"}' in hists
+
+
+class TestErrors:
+    def test_non_terminal_job_raises_named_error(self):
+        from repro.service.jobs import Job
+
+        job = Job(job_id="j", request=JobRequest(kind="sleep"), seq=0)
+        job.history.append(("queued", 0.0))
+        with pytest.raises(AttributionError, match="not terminal"):
+            attribute_job(job, [])
+
+    def test_missing_history_raises_named_error(self):
+        from repro.service.jobs import Job
+
+        job = Job(job_id="j", request=JobRequest(kind="sleep"), seq=0)
+        with pytest.raises(AttributionError, match="no lifecycle history"):
+            attribute_job(job, [])
+
+
+class TestTraceIds:
+    def test_mint_is_deterministic_and_distinct(self):
+        a = mint_trace_id("service", 7, 0)
+        assert a == mint_trace_id("service", 7, 0)
+        assert len(a) == 16 and int(a, 16) >= 0
+        assert a != mint_trace_id("service", 7, 1)
+        assert a != mint_trace_id("service", 8, 0)
+        assert a != mint_trace_id("fleet", 7, 0)
+
+    def test_session_trace_ids_are_unique_per_job(self):
+        service = _session().service
+        ids = [job.trace_id for job in service.jobs.values()]
+        assert None not in ids
+        assert len(set(ids)) == len(ids)

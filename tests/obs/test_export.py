@@ -136,3 +136,95 @@ class TestTextRenderers:
         assert text == render_metrics(reg.snapshot())
         assert text.index("a") < text.index("b")
         assert "histogram" in text and "gauge" in text
+
+
+class TestTraceContextExport:
+    def test_span_tree_carries_trace_ids(self):
+        tracer = Tracer(deterministic=True)
+        with tracer.trace("00decafc0ffee000"):
+            with tracer.span("job"):
+                with tracer.span("stage"):
+                    pass
+        tree = span_tree(tracer.spans)
+        root = tree[0]
+        assert root["trace_id"] == "00decafc0ffee000"
+        assert root["children"][0]["trace_id"] == "00decafc0ffee000"
+        assert root["span_uid"] != root["children"][0]["span_uid"]
+
+    def test_structural_tree_ignores_trace_ids(self):
+        """Adding trace context must not disturb the golden shape."""
+        tracer = Tracer(deterministic=True)
+        with tracer.trace("00decafc0ffee000"):
+            with tracer.span("job", design="fpu"):
+                pass
+        bare = Tracer(deterministic=True)
+        with bare.span("job", design="fpu"):
+            pass
+        assert structural_tree(tracer.spans) == structural_tree(bare.spans)
+
+
+class TestOpenMetrics:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs", region="east", priority="high").inc(3)
+        reg.gauge("service.queue_depth").set(4.0)
+        h = reg.histogram("service.latency_ticks", job_kind="execute")
+        for v in (0.0, 3.0, 6.5, 10.0):
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_export_is_byte_stable_and_terminated(self):
+        from repro.obs.export import to_openmetrics
+
+        snap = self._snapshot()
+        text = to_openmetrics(snap)
+        assert text == to_openmetrics(snap)
+        assert text.endswith("# EOF\n")
+
+    def test_counters_get_total_suffix_with_labels(self):
+        from repro.obs.export import to_openmetrics
+
+        text = to_openmetrics(self._snapshot())
+        assert (
+            'service_jobs_total{priority="high",region="east"} 3' in text
+        )
+        assert "# TYPE service_jobs counter" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.export import parse_openmetrics, to_openmetrics
+
+        families = parse_openmetrics(to_openmetrics(self._snapshot()))
+        hist = families["service_latency_ticks"]
+        assert hist["type"] == "histogram"
+        buckets = [
+            (labels, value)
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 4.0  # +Inf bucket equals count
+
+    def test_parse_rejects_missing_eof(self):
+        import pytest
+
+        from repro.obs.export import (
+            OpenMetricsError,
+            parse_openmetrics,
+            to_openmetrics,
+        )
+
+        text = to_openmetrics(self._snapshot())
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            parse_openmetrics(text.replace("# EOF\n", ""))
+
+    def test_roundtrip_scalar_values(self):
+        from repro.obs.export import parse_openmetrics, to_openmetrics
+
+        families = parse_openmetrics(to_openmetrics(self._snapshot()))
+        gauge = families["service_queue_depth"]
+        assert gauge["type"] == "gauge"
+        [(name, labels, value)] = gauge["samples"]
+        assert name == "service_queue_depth"
+        assert not labels  # unlabeled sample
+        assert value == 4.0

@@ -120,3 +120,54 @@ class TestExecutorGolden:
 
         all_events = [e for root in tree for e in events(root)]
         assert "preemption" in all_events
+
+
+class TestServiceGolden:
+    """The stitched end-to-end service trace: one job, one trace id."""
+
+    def _run_service(self):
+        from repro.service import (
+            JobRequest,
+            ServiceConfig,
+            run_session,
+        )
+
+        requests = [
+            JobRequest(kind="sleep", params={"steps": 2}, priority=1,
+                       client="alice", seed=3),
+            JobRequest(kind="sleep", params={"steps": 1}, priority=0,
+                       client="bob", seed=4),
+        ]
+        return run_session(requests, ServiceConfig(workers=1)).service
+
+    def test_service_trace_matches_golden(self):
+        service = self._run_service()
+        _check_golden(
+            "service_trace.json", structural_tree(service.tracer.spans)
+        )
+
+    def test_stitched_trace_export_is_byte_identical_across_runs(self):
+        """Same seed + same batch => byte-identical full trace export
+        (timings, trace ids, span uids included), twice."""
+        from repro.obs.export import span_tree
+
+        def export():
+            service = self._run_service()
+            return json.dumps(
+                span_tree(service.tracer.spans), sort_keys=True
+            )
+
+        assert export() == export()
+
+    def test_one_job_is_one_trace_end_to_end(self):
+        service = self._run_service()
+        for job in service.jobs.values():
+            stitched = [
+                s for s in service.tracer.spans
+                if s.trace_id == job.trace_id
+            ]
+            names = {s.name for s in stitched}
+            # Submit and execution spans share the job's single trace.
+            assert "service.submit" in names
+            assert "service.job" in names
+            assert all(s.trace_id == job.trace_id for s in stitched)

@@ -168,3 +168,120 @@ class TestGlobalRegistry:
             get_metrics().counter("inside").inc()
         assert fresh.snapshot().counters == {"inside": 1.0}
         assert "inside" not in get_metrics().snapshot().counters
+
+
+class TestNaNObserve:
+    def test_nan_is_counted_but_does_not_poison_moments(self):
+        import math
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(2.0)
+        h.observe(float("nan"))
+        h.observe(8.0)
+        snap = reg.snapshot().histograms["lat"]
+        assert snap.count == 3
+        assert snap.total == 10.0
+        assert snap.min == 2.0 and snap.max == 8.0
+        assert not math.isnan(snap.total)
+
+    def test_nan_first_observation_leaves_min_max_unset(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(float("nan"))
+        snap = reg.snapshot().histograms["lat"]
+        assert snap.count == 1
+        assert snap.min is None and snap.max is None and snap.total == 0.0
+
+    def test_nan_lands_in_zero_bin(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(float("nan"))
+        snap = reg.snapshot().histograms["lat"]
+        assert dict(snap.bins) == {ZERO_BIN: 1}
+
+
+class TestLabels:
+    def test_labeled_name_sorts_keys_canonically(self):
+        from repro.obs import labeled_name
+
+        assert (
+            labeled_name("jobs", {"region": "east", "priority": "high"})
+            == 'jobs{priority="high",region="east"}'
+        )
+
+    def test_labeled_name_escapes_values(self):
+        from repro.obs import labeled_name, parse_labeled_name
+
+        series = labeled_name("jobs", {"note": 'say "hi"\nnow'})
+        base, labels = parse_labeled_name(series)
+        assert base == "jobs"
+        assert labels == (("note", 'say "hi"\nnow'),)
+
+    def test_bad_label_key_raises_named_error(self):
+        from repro.obs import LabelError, labeled_name
+
+        with pytest.raises(LabelError):
+            labeled_name("jobs", {"bad-key": "v"})
+        with pytest.raises(LabelError):
+            labeled_name("jobs{oops", {"region": "east"})
+
+    def test_registry_encodes_labels_into_series(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs", region="east", priority="1").inc(3)
+        reg.counter("service.jobs", region="west", priority="1").inc()
+        snap = reg.snapshot()
+        assert snap.counters == {
+            'service.jobs{priority="1",region="east"}': 3.0,
+            'service.jobs{priority="1",region="west"}': 1.0,
+        }
+
+    def test_same_labels_any_order_is_one_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs", region="east", priority="1")
+        b = reg.counter("jobs", priority="1", region="east")
+        assert a is b
+
+    def test_kind_conflict_across_label_sets_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", region="east")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("jobs", region="west")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("jobs")
+
+    def test_labeled_snapshot_roundtrips_and_merges(self):
+        from repro.obs import snapshot_from_dict
+
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.histogram("lat", job_kind="execute").observe(4.0)
+        rb.histogram("lat", job_kind="execute").observe(16.0)
+        rb.histogram("lat", job_kind="flow").observe(1.0)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        roundtrip = snapshot_from_dict(merged.to_dict())
+        assert roundtrip == merged
+        assert merged.histograms['lat{job_kind="execute"}'].count == 2
+        assert merged.histograms['lat{job_kind="flow"}'].count == 1
+
+
+class TestMergeGaugeSemantics:
+    def test_gauge_conflict_is_last_writer_wins(self):
+        """merge_snapshots(a, b) takes b's gauge on conflict — the
+        documented last-writer-wins contract (non-commutative)."""
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.gauge("depth").set(5.0)
+        rb.gauge("depth").set(2.0)
+        ab = merge_snapshots(ra.snapshot(), rb.snapshot())
+        ba = merge_snapshots(rb.snapshot(), ra.snapshot())
+        assert ab.gauges["depth"] == 2.0
+        assert ba.gauges["depth"] == 5.0
+
+    def test_counters_and_histograms_merge_commutatively(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.counter("n").inc(2)
+        rb.counter("n").inc(3)
+        ra.histogram("h").observe(1.0)
+        rb.histogram("h").observe(2.0)
+        ab = merge_snapshots(ra.snapshot(), rb.snapshot())
+        ba = merge_snapshots(rb.snapshot(), ra.snapshot())
+        assert ab.counters == ba.counters == {"n": 5.0}
+        assert ab.histograms["h"] == ba.histograms["h"]

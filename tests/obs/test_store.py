@@ -182,3 +182,32 @@ class TestQueries:
         summary = percentile_summary(runs, "stage.seconds")
         assert set(summary) == {"p50", "p90", "p99"}
         assert percentile_summary(runs, "absent") == {}
+
+
+class TestEmptyHistogramError:
+    def test_percentile_of_empty_histogram_is_named_error(self):
+        from repro.obs.store import EmptyHistogramError
+
+        reg = MetricsRegistry()
+        reg.histogram("empty")  # registered, never observed
+        hist = reg.snapshot().histograms.get("empty")
+        if hist is None:
+            # Unobserved histograms may be absent from snapshots; build
+            # an explicitly empty one via from-dict instead.
+            from repro.obs.metrics import HistogramSnapshot
+
+            hist = HistogramSnapshot()
+        with pytest.raises(EmptyHistogramError, match="empty histogram"):
+            histogram_percentile(hist, 99.0)
+
+    def test_empty_histogram_error_is_a_store_error(self):
+        from repro.obs.store import EmptyHistogramError
+
+        assert issubclass(EmptyHistogramError, StoreError)
+
+    def test_percentile_summary_tolerates_empty(self):
+        from repro.obs.metrics import HistogramSnapshot
+
+        record = _record(hist_values=())
+        record.metrics.setdefault("histograms", {})
+        assert percentile_summary([record], "stage.seconds") == {}

@@ -116,7 +116,7 @@ class TestVerifyCommand:
     def test_small_run_passes(self, capsys):
         assert main(["verify", "--trials", "10", "--seed", "0"]) == 0
         out = capsys.readouterr().out
-        assert "PASS: 11 oracles, 110 trials, 0 violations" in out
+        assert "PASS: 13 oracles, 130 trials, 0 violations" in out
 
     def test_run_is_deterministic(self, capsys):
         main(["verify", "--trials", "8"])
@@ -568,3 +568,144 @@ class TestVerifyCorpusCLI:
         entries = load_corpus(str(corpus))
         assert len(entries) == 3
         assert all(e.oracle == "mckp" for e in entries)
+
+
+class TestSloCommand:
+    SPEC = "benchmarks/slo/service.json"
+
+    def _store(self, tmp_path, seed=7):
+        store = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "serve", "--seed", str(seed), "--jobs", "10",
+                "--store", str(store),
+                "--timestamp", "2026-08-08T00:00:00Z",
+            ]
+        ) == 0
+        return store
+
+    def test_passing_spec_exits_zero(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        code = main(
+            ["slo", "--spec", self.SPEC, "--store", str(store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO 'service-batch'" in out
+        assert "deadline-hit-rate" in out
+
+    def test_violated_spec_exits_one(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        spec = tmp_path / "strict.json"
+        doc = json.loads(open(self.SPEC).read())
+        doc["objectives"][2]["budget"] = 1e-9
+        spec.write_text(json.dumps(doc))
+        code = main(["slo", "--spec", str(spec), "--store", str(store)])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_missing_spec_exits_two(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        code = main(
+            [
+                "slo", "--spec", str(tmp_path / "absent.json"),
+                "--store", str(store),
+            ]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        spec = tmp_path / "bad.json"
+        spec.write_text('{"schema": "repro-slo/1", "name": "x"}')
+        code = main(["slo", "--spec", str(spec), "--store", str(store)])
+        assert code == 2
+
+    def test_dump_is_byte_identical_across_invocations(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        dumps = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "slo", "--spec", self.SPEC, "--store", str(store),
+                    "--window", "4", "--dump", str(path),
+                ]
+            ) == 0
+            dumps.append(path.read_bytes())
+        capsys.readouterr()
+        assert dumps[0] == dumps[1]
+        doc = json.loads(dumps[0])
+        assert doc["schema"] == "repro-slo-report/1"
+        assert doc["records"] == 11  # 10 jobs + 1 session record
+
+    def test_openmetrics_output_parses(self, tmp_path, capsys):
+        from repro.obs.export import parse_openmetrics
+
+        store = self._store(tmp_path)
+        out = tmp_path / "metrics.om"
+        code = main(
+            [
+                "slo", "--spec", self.SPEC, "--store", str(store),
+                "--openmetrics", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        families = parse_openmetrics(out.read_text())
+        assert "service_latency_ticks" in families
+
+    def test_window_must_be_non_negative(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        code = main(
+            [
+                "slo", "--spec", self.SPEC, "--store", str(store),
+                "--window", "-1",
+            ]
+        )
+        assert code == 2
+
+
+class TestReportSloFlag:
+    def test_report_gates_on_violated_slo(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "serve", "--seed", "7", "--jobs", "10",
+                "--store", str(store),
+                "--timestamp", "2026-08-08T00:00:00Z",
+            ]
+        ) == 0
+        spec = tmp_path / "strict.json"
+        doc = json.loads(open("benchmarks/slo/service.json").read())
+        doc["objectives"][2]["budget"] = 1e-9
+        spec.write_text(json.dumps(doc))
+        code = main(
+            [
+                "report", "--store", str(store),
+                "--slo-spec", str(spec),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_report_with_passing_slo_exits_zero(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "serve", "--seed", "7", "--jobs", "10",
+                "--store", str(store),
+                "--timestamp", "2026-08-08T00:00:00Z",
+            ]
+        ) == 0
+        code = main(
+            [
+                "report", "--store", str(store),
+                "--slo-spec", "benchmarks/slo/service.json",
+                "--slo-window", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SLO 'service-batch'" in out

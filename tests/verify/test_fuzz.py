@@ -48,6 +48,8 @@ class TestDriver:
             "service",
             "scenario",
             "fleet",
+            "attrib",
+            "slo",
         ]
 
     def test_oracle_subset(self):
